@@ -1,0 +1,28 @@
+# Convenience targets (see README for the underlying commands).
+
+.PHONY: install test bench experiments repro-check demo clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro all --scale small
+
+experiments-paper:
+	python -m repro all --scale paper
+
+repro-check:
+	python -m repro repro-check
+
+demo:
+	python -m repro demo
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at a CI-friendly scale
+and asserts the *shape* properties the paper reports (who wins, growth
+directions, reproducibility verdicts).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale(subnets=120, num_gpus=8)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment runners are deterministic and heavy; repeated rounds would
+    only re-measure the same simulation.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

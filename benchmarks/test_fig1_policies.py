@@ -1,0 +1,21 @@
+"""Figure 1 bench: ASP/BSP/CSP schedule comparison on the toy stream."""
+
+from repro.experiments import figure1
+
+from conftest import run_once
+
+
+def test_fig1_policy_comparison(benchmark):
+    runs = run_once(benchmark, figure1.run)
+    by_name = {run.policy: run for run in runs}
+    csp = by_name["CSP (NASPipe)"]
+    bsp = by_name["BSP (GPipe)"]
+    asp = by_name["ASP (PipeDream)"]
+    # Paper Figure 1: only CSP retains every causal dependency...
+    assert csp.violations == 0
+    assert bsp.violations > 0
+    assert asp.violations > 0
+    # ...at a bubble rate between full serialisation and ASP's.
+    assert asp.result.bubble_ratio < csp.result.bubble_ratio < 0.9
+    print()
+    print(figure1.format_text(runs))

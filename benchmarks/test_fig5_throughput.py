@@ -1,0 +1,69 @@
+"""Figure 5 bench: normalized throughput, four systems × seven spaces.
+
+Shape assertions against the paper's §5.1:
+
+* GPipe and PipeDream OOM on NLP.c0; NASPipe and VPipe run it.
+* NASPipe beats GPipe on every space it wins big on large spaces
+  (the speedup grows as the search space grows).
+* NASPipe's subnets/hour ordering: T(c0) > T(c1) > T(c2) > T(c3)
+  (the artifact's Experiment 2).
+"""
+
+from repro.experiments import figure5
+from repro.metrics.throughput import normalize_throughput
+
+from conftest import run_once
+
+
+def _cells_by_space(cells):
+    table = {}
+    for cell in cells:
+        table.setdefault(cell.space, {})[cell.system] = cell
+    return table
+
+
+def test_fig5_throughput_all_spaces(benchmark, scale):
+    cells = run_once(benchmark, figure5.run, scale)
+    table = _cells_by_space(cells)
+
+    # NLP.c0: only the swapped-context systems survive.
+    assert table["NLP.c0"]["GPipe"].throughput is None
+    assert table["NLP.c0"]["PipeDream"].throughput is None
+    assert table["NLP.c0"]["NASPipe"].throughput is not None
+    assert table["NLP.c0"]["VPipe"].throughput is not None
+
+    # NASPipe vs GPipe speedup grows with the search space (NLP.c3->c1).
+    def speedup(space):
+        gpipe = table[space]["GPipe"].throughput
+        return table[space]["NASPipe"].throughput / gpipe
+
+    assert speedup("NLP.c1") > speedup("NLP.c2") > 1.0
+    assert speedup("NLP.c1") > speedup("NLP.c3")
+    assert speedup("CV.c1") > speedup("CV.c3")
+
+    # NASPipe beats VPipe on the largest spaces (same batch, lower bubble).
+    assert (
+        table["NLP.c1"]["NASPipe"].throughput
+        > table["NLP.c1"]["VPipe"].throughput
+    )
+
+    # Artifact Experiment 2: larger spaces traverse subnets faster.
+    rates = [
+        table[name]["NASPipe"].subnets_per_hour
+        for name in ("NLP.c0", "NLP.c1", "NLP.c2", "NLP.c3")
+    ]
+    assert rates[0] > rates[1] > rates[2] > rates[3]
+
+    print()
+    print(figure5.format_text(cells))
+
+
+def test_fig5_bubble_decreases_with_space_size(benchmark, scale):
+    cells = run_once(
+        benchmark, figure5.run, scale,
+        spaces=["NLP.c1", "NLP.c3"], systems=["NASPipe"],
+    )
+    bubbles = {cell.space: cell.bubble for cell in cells}
+    # Paper Table 2: 0.39 (c1) vs 0.68 (c3) — more candidates per block,
+    # fewer dependencies, fuller pipeline.
+    assert bubbles["NLP.c1"] < bubbles["NLP.c3"]

@@ -1,0 +1,35 @@
+"""Figure 6 bench: component ablations (§5.3)."""
+
+from repro.experiments import figure6
+
+from conftest import run_once
+
+
+def test_fig6_ablations(benchmark, scale):
+    cells = run_once(
+        benchmark, figure6.run, scale, spaces=["NLP.c1", "NLP.c3", "CV.c1"]
+    )
+    table = {}
+    for cell in cells:
+        table.setdefault(cell.space, {})[cell.system] = cell
+
+    for space, row in table.items():
+        full = row["NASPipe"]
+        # Every ablation is at best marginally faster, usually slower.
+        for name, cell in row.items():
+            if cell.throughput is not None:
+                assert cell.throughput <= full.throughput * 1.05, (space, name)
+
+    # w/o predictor stores the whole supernet: smaller batch on big
+    # spaces (paper: "same as GPipe"), OOM where GPipe OOMs.
+    c1 = table["NLP.c1"]
+    assert c1["NASPipe w/o predictor"].batch < c1["NASPipe"].batch
+    assert (
+        c1["NASPipe w/o predictor"].throughput < 0.5 * c1["NASPipe"].throughput
+    )
+
+    # w/o scheduler: in-order injection raises the bubble.
+    assert c1["NASPipe w/o scheduler"].bubble >= c1["NASPipe"].bubble
+
+    print()
+    print(figure6.format_text(cells))

@@ -1,0 +1,30 @@
+"""Figure 7 bench: total GPU ALU utilisation vs cluster size (NLP.c1)."""
+
+from repro.experiments import figure7
+
+from conftest import run_once
+
+
+def test_fig7_scalability(benchmark, scale):
+    points = run_once(
+        benchmark, figure7.run, scale, gpu_counts=(4, 8, 12, 16)
+    )
+    naspipe = {
+        p.num_gpus: p for p in points if p.system == "NASPipe"
+    }
+    # Roughly linearly increasing total compute power...
+    assert naspipe[8].total_alu > naspipe[4].total_alu
+    assert naspipe[16].total_alu > naspipe[8].total_alu * 0.9
+    # ...but sub-linear: per-GPU utilisation degrades with depth
+    # (communication + causal-dependency bubbles, paper §5.4).
+    assert naspipe[16].total_alu / 16 < naspipe[4].total_alu / 4
+    assert naspipe[16].bubble > naspipe[8].bubble * 0.9
+
+    # GPipe/PipeDream cannot even hold NLP.c1 on 4 GPUs (44 GB < 59 GB
+    # of parameters); they join at larger cluster sizes.
+    gpipe = {p.num_gpus: p for p in points if p.system == "GPipe"}
+    assert gpipe[4].total_alu is None
+    assert gpipe[16].total_alu is not None
+
+    print()
+    print(figure7.format_text(points))

@@ -1,0 +1,51 @@
+"""Table 2 bench: resource consumption and micro events."""
+
+from repro.experiments import table2
+
+from conftest import run_once
+
+
+def test_table2_resource_shapes(benchmark, scale):
+    rows = run_once(
+        benchmark, table2.run, scale, spaces=["NLP.c1", "NLP.c3", "CV.c1"]
+    )
+    index = {(row.space, row.system): row for row in rows}
+
+    nas_c1 = index[("NLP.c1", "NASPipe")]
+    gpipe_c1 = index[("NLP.c1", "GPipe")]
+    vpipe_c1 = index[("NLP.c1", "VPipe")]
+
+    # Parameter footprints: GPipe pins the whole supernet (~14.8B for
+    # NLP.c1); NASPipe caches ~3 subnets; VPipe caches one.
+    assert gpipe_c1.param_count > 10e9
+    assert nas_c1.param_count < 2e9
+    assert abs(nas_c1.param_count - 3 * vpipe_c1.param_count) < 0.1 * nas_c1.param_count
+
+    # Batch sizes: NASPipe trains the full batch, GPipe a fraction.
+    assert nas_c1.batch == 192
+    assert vpipe_c1.batch == 192
+    assert gpipe_c1.batch < 64
+
+    # Swapped systems pay CPU pinned memory; full-context systems don't.
+    assert nas_c1.cpu_mem_gb > 10
+    assert gpipe_c1.cpu_mem_gb == 0.0
+    # CPU memory shrinks with the search space (paper: 57.8G -> 20.3G).
+    assert index[("NLP.c3", "NASPipe")].cpu_mem_gb < nas_c1.cpu_mem_gb
+
+    # Cache hit rates: NASPipe's predictor vs VPipe's on-demand swaps.
+    assert nas_c1.cache_hit > 0.6
+    assert vpipe_c1.cache_hit < 0.15
+    assert gpipe_c1.cache_hit is None
+
+    # NASPipe's ALU beats GPipe's (larger batch, fewer stalls).
+    assert nas_c1.gpu_alu_x > gpipe_c1.gpu_alu_x
+
+    # Bubble: NASPipe's c1 < c3 (dependency sparsity), GPipe's roughly
+    # constant (bulk-determined).
+    assert nas_c1.bubble < index[("NLP.c3", "NASPipe")].bubble
+    gpipe_bubbles = [index[("NLP.c1", "GPipe")].bubble,
+                     index[("NLP.c3", "GPipe")].bubble]
+    assert abs(gpipe_bubbles[0] - gpipe_bubbles[1]) < 0.08
+
+    print()
+    print(table2.format_text(rows))

@@ -1,0 +1,45 @@
+"""Table 3 bench: reproducibility across cluster sizes (CSP/BSP/ASP)."""
+
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_reproducibility(benchmark):
+    reports = run_once(
+        benchmark,
+        table3.run,
+        spaces=["NLP.c2", "CV.c2"],
+        scale=table3.Table3Scale(steps=36, num_blocks=16),
+    )
+    for space, report in reports.items():
+        # CSP: identical losses, scores and bits on 4/8/16 GPUs.
+        assert report.is_reproducible("CSP"), space
+        csp_losses = {
+            report.losses[("CSP", gpus)] for gpus in report.gpu_counts("CSP")
+        }
+        assert len(csp_losses) == 1
+        csp_scores = {
+            report.scores[("CSP", gpus)] for gpus in report.gpu_counts("CSP")
+        }
+        assert len(csp_scores) == 1
+        # BSP/ASP: different bits per cluster size.
+        assert not report.is_reproducible("BSP"), space
+        assert not report.is_reproducible("ASP"), space
+    print()
+    print(table3.format_text(reports))
+
+
+def test_table3_csp_quality_not_worse(benchmark):
+    """The paper's Table 3 shows CSP's losses at or below BSP/ASP's —
+    enforcing the causal order costs nothing in final quality."""
+    reports = run_once(
+        benchmark,
+        table3.run,
+        spaces=["NLP.c2"],
+        scale=table3.Table3Scale(steps=60, num_blocks=16),
+    )
+    report = reports["NLP.c2"]
+    csp_loss = report.losses[("CSP", 8)]
+    assert csp_loss <= report.losses[("BSP", 8)] + 1e-6
+    assert csp_loss <= report.losses[("ASP", 8)] + 1e-6

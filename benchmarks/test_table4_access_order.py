@@ -1,0 +1,26 @@
+"""Table 4 bench: access & update order of one shared layer."""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4_access_orders(benchmark):
+    rows = run_once(benchmark, table4.run)
+    by_name = {row.system: row for row in rows}
+
+    naspipe = by_name["NASPipe"]
+    # CSP: the sequential order, identical on 4 and 8 GPUs.
+    assert naspipe.orders[4] == "2F-2B-5F-5B-7F-7B"
+    assert naspipe.orders[8] == "2F-2B-5F-5B-7F-7B"
+
+    # PipeDream reorders (and differently per cluster size).
+    pipedream = by_name["PipeDream"]
+    assert not pipedream.is_reproducible
+
+    # GPipe's order changes between 4 and 8 GPUs (bulk tracks depth).
+    gpipe = by_name["GPipe"]
+    assert gpipe.orders[4] != gpipe.orders[8]
+
+    print()
+    print(table4.format_text(rows))

@@ -1,0 +1,33 @@
+"""Table 5 bench: per-layer computation vs swap time."""
+
+import pytest
+
+from repro.experiments import table5
+
+from conftest import run_once
+
+#: The paper's Table 5, verbatim: (domain, layer, fwd, bwd, swap ms).
+_PAPER_TABLE5 = [
+    ("NLP", "conv3x1", 5.0, 10.0, 1.76),
+    ("NLP", "sepconv7x1", 4.2, 5.7, 0.56),
+    ("NLP", "lightconv5x1", 0.68, 1.4, 0.03),
+    ("NLP", "attention8h", 7.9, 13.8, 2.07),
+    ("CV", "conv3x3", 7.9, 13.8, 4.6),
+    ("CV", "sepconv3x3", 2.8, 4.0, 0.68),
+    ("CV", "sepconv5x5", 6.7, 9.9, 2.04),
+    ("CV", "dilconv3x3", 2.5, 3.4, 0.58),
+]
+
+
+def test_table5_layer_costs(benchmark):
+    rows = run_once(benchmark, table5.run)
+    index = {(row.domain, row.layer): row for row in rows}
+    for domain, layer, fwd, bwd, swap in _PAPER_TABLE5:
+        row = index[(domain, layer)]
+        assert row.fwd_ms == pytest.approx(fwd)
+        assert row.bwd_ms == pytest.approx(bwd)
+        assert row.swap_ms_profile == pytest.approx(swap, rel=1e-2)
+        # The simulated copy engine reproduces the analytic swap time.
+        assert row.swap_ms_simulated == pytest.approx(row.swap_ms_profile)
+    print()
+    print(table5.format_text(rows))

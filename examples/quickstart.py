@@ -1,0 +1,49 @@
+"""Quickstart: train a supernet stream under NASPipe and the baselines.
+
+Runs the paper's default setup (NLP.c1, 8 simulated GPUs) for a short
+stream under each system and prints the throughput/bubble/cache summary —
+a miniature of the paper's Figure 5 / Table 2.
+
+Usage::
+
+    python examples/quickstart.py [steps]
+"""
+
+import sys
+
+from repro import (
+    ALL_SYSTEMS,
+    PipelineEngine,
+    SeedSequenceTree,
+    SubnetStream,
+    Supernet,
+    errors,
+    get_search_space,
+    system_by_name,
+)
+
+
+def main(steps: int = 150) -> None:
+    space = get_search_space("NLP.c1")
+    supernet = Supernet(space)
+    seeds = SeedSequenceTree(2022)
+    print(f"search space {space.name}: {space.num_blocks} choice blocks x "
+          f"{space.choices_per_block} candidates "
+          f"({space.architecture_count:.2e} architectures, "
+          f"{supernet.total_param_count() / 1e9:.1f}B supernet parameters)")
+    print(f"training {steps} subnets on 8 simulated GPUs\n")
+
+    for name in ALL_SYSTEMS:
+        # Same seeded stream for every system: identical workload.
+        stream = SubnetStream.sample_generational(space, seeds, steps)
+        try:
+            engine = PipelineEngine(supernet, stream, system_by_name(name))
+        except errors.GpuOutOfMemoryError:
+            print(f"{name:>10s}: OOM (supernet does not fit 8 x 11 GB)")
+            continue
+        result = engine.run()
+        print(result.summary())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

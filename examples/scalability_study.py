@@ -1,0 +1,61 @@
+"""Scalability study: Figure 7 plus a per-GPU efficiency breakdown.
+
+Sweeps the simulated cluster from 4 to 16 GPUs on NLP.c1 for all four
+systems and prints total ALU utilisation (the paper's Figure 7 metric),
+throughput, and the bubble growth that makes NASPipe's scaling
+sub-linear (§5.4).
+
+Usage::
+
+    python examples/scalability_study.py [subnets]
+"""
+
+import sys
+
+from repro import (
+    ALL_SYSTEMS,
+    PipelineEngine,
+    SeedSequenceTree,
+    SubnetStream,
+    Supernet,
+    errors,
+    get_search_space,
+    system_by_name,
+)
+from repro.sim.cluster import ClusterSpec
+
+GPU_COUNTS = (4, 8, 12, 16)
+
+
+def main(subnets: int = 150) -> None:
+    space = get_search_space("NLP.c1")
+    supernet = Supernet(space)
+    seeds = SeedSequenceTree(2022)
+
+    print(f"{'system':>10s} {'GPUs':>5s} {'total ALU':>10s} "
+          f"{'ALU/GPU':>8s} {'bubble':>7s} {'samples/s':>10s}")
+    for name in ALL_SYSTEMS:
+        for gpus in GPU_COUNTS:
+            stream = SubnetStream.sample_generational(
+                space, seeds.child(f"{name}/{gpus}"), subnets
+            )
+            try:
+                engine = PipelineEngine(
+                    supernet, stream, system_by_name(name),
+                    ClusterSpec(num_gpus=gpus),
+                )
+            except errors.GpuOutOfMemoryError:
+                print(f"{name:>10s} {gpus:>5d} {'OOM':>10s}")
+                continue
+            result = engine.run()
+            print(
+                f"{name:>10s} {gpus:>5d} {result.total_alu:>9.1f}x "
+                f"{result.total_alu / gpus:>8.2f} "
+                f"{result.bubble_ratio:>7.2f} "
+                f"{result.throughput_samples_per_sec:>10.1f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

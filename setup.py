@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e . --no-build-isolation`` work on the
+offline toolchain (setuptools 65 without the wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — same entry point as the ``naspipe`` script."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

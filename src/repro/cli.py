@@ -1,0 +1,262 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    naspipe list
+    naspipe figure1
+    naspipe figure5 --scale small
+    naspipe table3 --spaces NLP.c2 CV.c2
+    naspipe all --scale small
+
+(also reachable as ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentScale
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "figure1",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "dag-bound",
+    "scheduler-cost",
+    "ranking",
+    "repro-check",
+    "demo",
+)
+
+
+def _scale_from_args(args) -> ExperimentScale:
+    if args.scale == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale.small()
+
+
+def _maybe_csv(name: str, rows, args) -> str:
+    """Write rows to ``<csv_dir>/<name>.csv`` when ``--csv`` was given."""
+    if not getattr(args, "csv", None):
+        return ""
+    from pathlib import Path
+
+    from repro.experiments.export import write_csv
+
+    directory = Path(args.csv)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = write_csv(rows, directory / f"{name.replace('-', '_')}.csv")
+    return f"\n[csv written to {path}]"
+
+
+def _run_one(name: str, args) -> str:
+    scale = _scale_from_args(args)
+    spaces: Optional[List[str]] = args.spaces or None
+    if name == "figure1":
+        from repro.experiments import figure1
+
+        return figure1.format_text(figure1.run(seed=args.seed))
+    if name == "figure4":
+        from repro.experiments import figure4
+
+        return figure4.format_text(figure4.run(spaces=spaces, seed=args.seed))
+    if name == "figure5":
+        from repro.experiments import figure5
+
+        rows = figure5.run(scale, spaces=spaces)
+        return figure5.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "figure6":
+        from repro.experiments import figure6
+
+        rows = figure6.run(scale, spaces=spaces)
+        return figure6.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "figure7":
+        from repro.experiments import figure7
+
+        rows = figure7.run(scale)
+        return figure7.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "table2":
+        from repro.experiments import table2
+
+        rows = table2.run(scale, spaces=spaces, with_scores=args.scores)
+        return table2.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "table3":
+        from repro.experiments import table3
+
+        return table3.format_text(table3.run(spaces=spaces, seed=args.seed))
+    if name == "table4":
+        from repro.experiments import table4
+
+        return table4.format_text(table4.run(seed=args.seed))
+    if name == "table5":
+        from repro.experiments import table5
+
+        rows = table5.run()
+        return table5.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "dag-bound":
+        from repro.experiments import dag_bound
+
+        rows = dag_bound.run(space_names=spaces)
+        return dag_bound.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "scheduler-cost":
+        from repro.experiments import scheduler_cost
+
+        rows = scheduler_cost.run(seed=args.seed)
+        return scheduler_cost.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "ranking":
+        from repro.experiments import ranking
+
+        rows = ranking.run(seed=args.seed)
+        return ranking.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "repro-check":
+        return _repro_check(args.seed)
+    if name == "demo":
+        return _demo(args.seed)
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def _demo(seed: int) -> str:
+    """A guided tour: run NASPipe on a short stream, narrate the first
+    events, then show the schedule as a Gantt chart and sparklines."""
+    from repro.baselines import naspipe
+    from repro.engines.pipeline import PipelineEngine
+    from repro.seeding import SeedSequenceTree
+    from repro.sim.cluster import ClusterSpec
+    from repro.supernet.sampler import SubnetStream
+    from repro.supernet.search_space import get_search_space
+    from repro.supernet.supernet import Supernet
+    from repro.viz import ascii_gantt, utilization_sparklines
+
+    space = get_search_space("NLP.c2")
+    supernet = Supernet(space)
+    stream = SubnetStream.sample_generational(
+        space, SeedSequenceTree(seed), 40
+    )
+    narration = []
+
+    def listener(kind, stage, subnet_id, time):
+        if len(narration) < 14 and kind in ("fwd-start", "subnet-complete"):
+            narration.append(
+                f"  t={time:8.1f}ms  {kind:>15s}  SN{subnet_id:<3d} @P{stage}"
+            )
+
+    engine = PipelineEngine(
+        supernet, stream, naspipe(), ClusterSpec(num_gpus=4),
+        event_listener=listener,
+    )
+    result = engine.run()
+    lines = [
+        f"NASPipe demo — {space.name}, 4 simulated GPUs, 40 subnets",
+        "",
+        "first events:",
+        *narration,
+        "",
+        "schedule (first quarter):",
+        ascii_gantt(result.trace, width=96, end=result.trace.makespan / 4),
+        "",
+        "GPU utilisation over the whole run:",
+        utilization_sparklines(result.trace, buckets=80),
+        "",
+        result.summary(),
+    ]
+    return "\n".join(lines)
+
+
+def _repro_check(seed: int) -> str:
+    """Quick bitwise-reproducibility self-check (the artifact's core
+    experiment): CSP on 1 vs 4 GPUs must match sequential exactly."""
+    from repro.replay import execute_manifest, record_run
+
+    lines = ["Reproducibility self-check (CSP vs sequential, 1 vs 4 GPUs)"]
+    manifest = record_run(
+        "NLP.c2",
+        "NASPipe",
+        space_overrides={"num_blocks": 16, "functional_width": 16},
+        num_gpus=4,
+        seed=seed,
+        steps=32,
+        batch=32,
+    )
+    single = record_run(
+        "NLP.c2",
+        "NASPipe",
+        space_overrides={"num_blocks": 16, "functional_width": 16},
+        num_gpus=1,
+        seed=seed,
+        steps=32,
+        batch=32,
+    )
+    if manifest.digest == single.digest:
+        lines.append(f"PASS: digests match ({manifest.digest[:16]}…)")
+    else:
+        lines.append(
+            f"FAIL: {manifest.digest[:16]}… != {single.digest[:16]}…"
+        )
+    replay = execute_manifest(manifest)
+    lines.append(
+        "PASS: replay reproduced the 4-GPU run bitwise"
+        if replay.digest == manifest.digest
+        else "FAIL: replay diverged"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="naspipe",
+        description="NASPipe reproduction — regenerate paper tables/figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + ("all", "list"),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="experiment size (small: CI-friendly; paper: full streams)",
+    )
+    parser.add_argument(
+        "--spaces",
+        nargs="*",
+        help="restrict to these search spaces (e.g. NLP.c1 CV.c2)",
+    )
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write row-list experiments as CSV into this directory",
+    )
+    parser.add_argument(
+        "--scores",
+        action="store_true",
+        help="table2: add the Score column (scaled functional runs; slower)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("\n".join(_EXPERIMENTS))
+        return 0
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(_run_one(name, args))
+        print(f"[{name} in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Per-stage GPU parameter cache with prefetch/evict (paper §3.3, §4.2).
+
+The whole supernet lives in pinned CPU memory; a stage's GPU holds only a
+bounded cache of candidate-layer parameters (≈3× one subnet's stage share
+in NASPipe: the subnet being executed, the previous one draining out, the
+next one prefetching in).  Copies ride the GPU's asynchronous copy engine
+and overlap compute, exactly like ``tensor.copy_(non_blocking=True)`` from
+pinned memory.
+
+Cache-hit accounting matches the paper's metric: "when a layer in a choice
+block is activated, the layer already resides in GPU memory".  A miss
+forces a synchronous fetch — the GPU idles until the copy lands, recorded
+as a stall.
+
+Eviction is LRU over *unpinned* layers; layers are pinned while any
+in-flight subnet at this stage still needs them (fetch-in-progress or
+forward-done-awaiting-backward).  Dirty layers (updated by a backward)
+are written back to CPU on eviction, consuming copy-engine bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.nn.parameter_store import LayerId
+from repro.sim.devices import CopyEngine
+from repro.sim.trace import ExecutionTrace
+from repro.supernet.supernet import Supernet
+
+__all__ = ["StageContextManager", "FetchPlan"]
+
+
+@dataclass(frozen=True)
+class FetchPlan:
+    """Outcome of requesting residency for a task's layer set."""
+
+    ready_time: float  # when every layer will be resident
+    hits: int
+    misses: int
+    fetched_bytes: int
+
+    @property
+    def is_hit(self) -> bool:
+        return self.misses == 0
+
+
+@dataclass
+class _CacheEntry:
+    nbytes: int
+    pins: int = 0
+    dirty: bool = False
+    ready_at: float = 0.0  # copy completion time (0 when long resident)
+
+
+class StageContextManager:
+    """LRU parameter cache for one pipeline stage."""
+
+    def __init__(
+        self,
+        stage: int,
+        supernet: Supernet,
+        copy_engine: CopyEngine,
+        capacity_bytes: int,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> None:
+        self.stage = stage
+        self.supernet = supernet
+        self.copy_engine = copy_engine
+        self.capacity_bytes = capacity_bytes
+        self.trace = trace
+        self._entries: "OrderedDict[LayerId, _CacheEntry]" = OrderedDict()
+        self.resident_bytes = 0
+        self.peak_resident_bytes = 0
+        self.writeback_bytes = 0
+        self.fetch_bytes = 0
+        self.prefetch_requests = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # residency primitives
+    # ------------------------------------------------------------------
+    def is_resident(self, layer: LayerId, now: float) -> bool:
+        entry = self._entries.get(layer)
+        return entry is not None and entry.ready_at <= now
+
+    def _touch(self, layer: LayerId) -> None:
+        self._entries.move_to_end(layer)
+
+    def _evict_for(self, needed: int, now: float) -> None:
+        """Evict LRU unpinned layers until ``needed`` bytes fit.
+
+        Over-capacity with everything pinned is tolerated (the real system
+        delays copies in that case; modelling the delay as an immediate
+        grow keeps the simulation deadlock-free and errs *against*
+        NASPipe's reported memory efficiency).
+        """
+        if needed > self.capacity_bytes:
+            return  # single working set larger than cache: run oversubscribed
+        for layer in list(self._entries):
+            if self.resident_bytes + needed <= self.capacity_bytes:
+                break
+            entry = self._entries[layer]
+            if entry.pins > 0 or entry.ready_at > now:
+                continue
+            self._entries.pop(layer)
+            self.resident_bytes -= entry.nbytes
+            if entry.dirty:
+                # Write the updated parameters back to pinned CPU memory.
+                self.copy_engine.enqueue(entry.nbytes, now)
+                self.writeback_bytes += entry.nbytes
+
+    def _fetch(self, layer: LayerId, now: float) -> float:
+        """Start an async copy of ``layer``; returns completion time."""
+        nbytes = self.supernet.profile(layer).param_bytes
+        self._evict_for(nbytes, now)
+        completion = self.copy_engine.enqueue(nbytes, now)
+        self._entries[layer] = _CacheEntry(nbytes=nbytes, ready_at=completion)
+        self.resident_bytes += nbytes
+        self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
+        self.fetch_bytes += nbytes
+        return completion
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def prefetch(self, layers: Iterable[LayerId], now: float) -> float:
+        """Asynchronously fetch any non-resident layers (predictor path).
+
+        Returns the time the whole group becomes resident.
+        """
+        self.prefetch_requests += 1
+        ready = now
+        for layer in layers:
+            entry = self._entries.get(layer)
+            if entry is not None:
+                self._touch(layer)
+                ready = max(ready, entry.ready_at)
+            else:
+                ready = max(ready, self._fetch(layer, now))
+        return ready
+
+    def acquire_for_task(
+        self, layers: Iterable[LayerId], now: float
+    ) -> FetchPlan:
+        """Demand residency for a task's layers; pins them; counts hits.
+
+        Layers already resident (copy landed) are hits; layers absent or
+        still in flight are misses and the task must stall until
+        ``ready_time``.
+        """
+        hits = 0
+        misses = 0
+        fetched = 0
+        ready = now
+        for layer in layers:
+            entry = self._entries.get(layer)
+            if entry is not None and entry.ready_at <= now:
+                hits += 1
+                self._touch(layer)
+            else:
+                misses += 1
+                if entry is None:
+                    completion = self._fetch(layer, now)
+                    fetched += self.supernet.profile(layer).param_bytes
+                else:
+                    completion = entry.ready_at
+                    self._touch(layer)
+                ready = max(ready, completion)
+            self._entries[layer].pins += 1
+        self.hits += hits
+        self.misses += misses
+        if self.trace is not None:
+            self.trace.record_cache_access(True, hits)
+            self.trace.record_cache_access(False, misses)
+        return FetchPlan(ready_time=ready, hits=hits, misses=misses, fetched_bytes=fetched)
+
+    def release_after_task(
+        self, layers: Iterable[LayerId], now: float, dirty: bool
+    ) -> None:
+        """Unpin a task's layers; mark dirty after a backward (WRITE)."""
+        for layer in layers:
+            entry = self._entries.get(layer)
+            if entry is None:
+                continue
+            entry.pins = max(0, entry.pins - 1)
+            if dirty:
+                entry.dirty = True
+        # Opportunistically shrink back under capacity.
+        self._evict_for(0, now)
+
+    def evict_subnet(self, layers: Iterable[LayerId], now: float) -> None:
+        """Eagerly evict a finished subnet's layers (paper: EVICT call)."""
+        for layer in layers:
+            entry = self._entries.get(layer)
+            if entry is None or entry.pins > 0:
+                continue
+            self._entries.pop(layer)
+            self.resident_bytes -= entry.nbytes
+            if entry.dirty:
+                self.copy_engine.enqueue(entry.nbytes, now)
+                self.writeback_bytes += entry.nbytes
+
+    # ------------------------------------------------------------------
+    def oversubscription(self) -> float:
+        """Resident bytes over capacity (1.0 = exactly full)."""
+        if self.capacity_bytes <= 0:
+            return float("inf") if self.resident_bytes else 0.0
+        return self.resident_bytes / self.capacity_bytes
+
+    def reclaim(self, now: float) -> int:
+        """Best-effort eviction of unpinned entries (OOM recovery path).
+
+        Returns bytes freed.  Mirrors the real system's reaction to a
+        CUDA out-of-memory: drop everything droppable, then retry.
+        """
+        before = self.resident_bytes
+        for layer in list(self._entries):
+            entry = self._entries[layer]
+            if entry.pins > 0 or entry.ready_at > now:
+                continue
+            self._entries.pop(layer)
+            self.resident_bytes -= entry.nbytes
+            if entry.dirty:
+                self.copy_engine.enqueue(entry.nbytes, now)
+                self.writeback_bytes += entry.nbytes
+        return before - self.resident_bytes
+
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+    def resident_layer_count(self) -> int:
+        return len(self._entries)

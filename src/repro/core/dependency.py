@@ -1,0 +1,140 @@
+"""Per-layer causal dependency tracking (Definition 2, exact form).
+
+For every candidate layer the tracker knows which registered subnets use
+it (in sequence order).  A subnet *releases* a layer when its WRITE — the
+backward pass plus optimizer step of the stage owning that layer — has
+committed.  Subnet ``y`` may access layer ``l`` once every earlier user of
+``l`` has released it.
+
+The tracker also implements the paper's *elimination scheme* (§3.2
+complexity analysis): once all subnets below a sequence ID are fully
+finished, they are dropped from the per-layer user lists, keeping the
+scheduler's scan cost flat over arbitrarily long streams.
+
+Why per-layer rather than the paper's per-subnet stage-local check?  The
+stage-local check (Algorithm 2 verbatim — see
+:class:`~repro.core.scheduler.CspScheduler`'s ``conservative`` mode)
+compares a candidate's stage-K layers against *whole* earlier subnets and
+considers an earlier subnet cleared once its backward ran at stage K.
+When two subnets' balanced partitions place a shared layer in different
+stages, that proxy can diverge from the true WRITE time in either
+direction.  The tracker is therefore the runtime's ground truth: the
+scheduler may use the cheap conservative filter, but a task only executes
+once the tracker agrees — the "checks whether the subnet context to be
+executed is ready ... for safety" step of paper §3.1.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.nn.parameter_store import LayerId
+from repro.supernet.subnet import Subnet
+
+__all__ = ["DependencyTracker"]
+
+
+class DependencyTracker:
+    """Tracks layer users, releases, completions, and the frontier."""
+
+    def __init__(self) -> None:
+        self._users: Dict[LayerId, List[int]] = {}
+        self._subnets: Dict[int, Subnet] = {}
+        self._released: Dict[int, Set[LayerId]] = {}
+        self._finished: Set[int] = set()
+        #: all subnet ids < frontier are finished and eliminated
+        self.frontier: int = 0
+
+    # ------------------------------------------------------------------
+    # registration / lifecycle
+    # ------------------------------------------------------------------
+    def register(self, subnet: Subnet) -> None:
+        """Admit a subnet into dependency bookkeeping."""
+        if subnet.subnet_id in self._subnets:
+            raise SchedulingError(f"subnet {subnet.subnet_id} registered twice")
+        self._subnets[subnet.subnet_id] = subnet
+        self._released[subnet.subnet_id] = set()
+        for layer in subnet.layer_ids():
+            insort(self._users.setdefault(layer, []), subnet.subnet_id)
+
+    def is_registered(self, subnet_id: int) -> bool:
+        return subnet_id in self._subnets or subnet_id < self.frontier
+
+    def release_layers(self, subnet_id: int, layers: Iterable[LayerId]) -> None:
+        """Record that ``subnet_id``'s WRITE on ``layers`` has committed."""
+        released = self._released.get(subnet_id)
+        if released is None:
+            raise SchedulingError(f"release for unregistered subnet {subnet_id}")
+        released.update(layers)
+
+    def mark_finished(self, subnet_id: int) -> None:
+        """Mark a subnet fully done (all writes committed) and advance
+        the elimination frontier past any finished prefix."""
+        if subnet_id not in self._subnets:
+            raise SchedulingError(f"finish for unregistered subnet {subnet_id}")
+        subnet = self._subnets[subnet_id]
+        self._released[subnet_id].update(subnet.layer_ids())
+        self._finished.add(subnet_id)
+        self._advance_frontier()
+
+    def _advance_frontier(self) -> None:
+        while self.frontier in self._finished:
+            self._eliminate(self.frontier)
+            self.frontier += 1
+
+    def _eliminate(self, subnet_id: int) -> None:
+        subnet = self._subnets.pop(subnet_id)
+        self._released.pop(subnet_id, None)
+        self._finished.discard(subnet_id)
+        for layer in subnet.layer_id_set():
+            users = self._users.get(layer)
+            if users and users[0] == subnet_id:
+                users.pop(0)
+                if not users:
+                    del self._users[layer]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_finished(self, subnet_id: int) -> bool:
+        return subnet_id < self.frontier or subnet_id in self._finished
+
+    def has_released(self, subnet_id: int, layer: LayerId) -> bool:
+        if subnet_id < self.frontier:
+            return True
+        return layer in self._released.get(subnet_id, ())
+
+    def blocking_user(
+        self, subnet_id: int, layers: Iterable[LayerId]
+    ) -> Optional[Tuple[int, LayerId]]:
+        """First (earlier subnet, layer) pair still blocking ``subnet_id``.
+
+        Returns None when every earlier user of every given layer has
+        released it — i.e. the access is CSP-clear.
+        """
+        for layer in layers:
+            for user in self._users.get(layer, ()):
+                if user >= subnet_id:
+                    break  # user lists are sorted; no earlier users left
+                if not self.has_released(user, layer):
+                    return user, layer
+        return None
+
+    def is_clear(self, subnet_id: int, layers: Iterable[LayerId]) -> bool:
+        return self.blocking_user(subnet_id, layers) is None
+
+    def dependency_exists(self, earlier_id: int, later_id: int) -> bool:
+        """Whether two registered subnets share at least one layer."""
+        earlier = self._subnets.get(earlier_id)
+        later = self._subnets.get(later_id)
+        if earlier is None or later is None:
+            return False
+        return later.depends_on(earlier)
+
+    def active_subnets(self) -> List[int]:
+        return sorted(self._subnets)
+
+    def layer_users(self, layer: LayerId) -> List[int]:
+        return list(self._users.get(layer, ()))

@@ -1,0 +1,156 @@
+"""Context prediction — the paper's Algorithm 3.
+
+The predictor forecasts the next tasks each stage will schedule so that
+the context manager can prefetch their layer parameters from pinned CPU
+memory before execution needs them.  It exploits the paper's key
+opportunity: DNN compute times are roughly deterministic, so re-running
+the scheduler against *hypothetical* near-future state is an accurate
+simulation of the real scheduler's next decisions.
+
+Two call sites, mirroring Algorithm 1:
+
+* before a **backward** runs (``predict_on_backward``): pretend the
+  backward's WRITEs have committed, re-run SCHEDULE(); the produced
+  forward task is very likely next — prefetch it.  Also absorb the
+  pending-backward hints carried with the received gradient.
+* before a **forward** runs (``predict_on_forward``): if this forward
+  unblocks a pending backward recorded earlier, prefetch that backward's
+  context; then re-run SCHEDULE() skipping the task being launched to
+  prefetch the following forward.
+
+``depth`` controls how many future forwards are prefetched per call (the
+paper uses 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.core.dependency import DependencyTracker
+from repro.core.scheduler import CspScheduler
+from repro.core.task import Task, TaskKind
+from repro.nn.parameter_store import LayerId
+
+__all__ = ["Prediction", "ContextPredictor"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One forecast task whose context should be prefetched."""
+
+    task: Task
+    reason: str  # "after-backward" | "after-forward" | "pending-backward"
+
+
+class ContextPredictor:
+    """Per-stage forecast engine (one instance per pipeline stage)."""
+
+    def __init__(
+        self,
+        stage: int,
+        scheduler: CspScheduler,
+        stage_layers_of: Callable[[int], Sequence[LayerId]],
+        depth: int = 2,
+    ) -> None:
+        self.stage = stage
+        self.scheduler = scheduler
+        self.stage_layers_of = stage_layers_of
+        self.depth = depth
+        #: backward tasks reported blocked by later stages (L_blocked)
+        self.blocked_backwards: List[int] = []
+        self.predictions_made = 0
+
+    # ------------------------------------------------------------------
+    def _chain_forwards(
+        self,
+        queue: Sequence[int],
+        tracker: DependencyTracker,
+        assume_released: Set[int],
+        skip: Set[int],
+    ) -> List[int]:
+        """Re-run SCHEDULE() up to ``depth`` times against hypothetical
+        state: subnets in ``assume_released`` are treated as finished."""
+
+        def layers_clear(subnet_id: int) -> bool:
+            for layer in self.stage_layers_of(subnet_id):
+                for user in tracker.layer_users(layer):
+                    if user >= subnet_id:
+                        break
+                    if user in assume_released:
+                        continue
+                    if not tracker.has_released(user, layer):
+                        return False
+            return True
+
+        picks: List[int] = []
+        local_skip = set(skip)
+        for _ in range(self.depth):
+            chosen = None
+            for qval in queue:
+                if qval in local_skip:
+                    continue
+                if layers_clear(qval):
+                    chosen = qval
+                    break
+            if chosen is None:
+                break
+            picks.append(chosen)
+            local_skip.add(chosen)
+            # Assume the pick runs to completion before the next forecast
+            # step — optimistic, but that is exactly the paper's heuristic.
+            assume_released = assume_released | {chosen}
+        return picks
+
+    # ------------------------------------------------------------------
+    def predict_on_backward(
+        self,
+        backward_subnet: int,
+        queue: Sequence[int],
+        tracker: DependencyTracker,
+        pending_backward_hints: Sequence[int] = (),
+    ) -> List[Prediction]:
+        """Algorithm 3, ``recv is not None`` branch."""
+        self.predictions_made += 1
+        for hint in pending_backward_hints:
+            if hint not in self.blocked_backwards:
+                self.blocked_backwards.append(hint)
+        picks = self._chain_forwards(
+            queue, tracker, assume_released={backward_subnet}, skip=set()
+        )
+        return [
+            Prediction(Task(pick, self.stage, TaskKind.FORWARD), "after-backward")
+            for pick in picks
+        ]
+
+    def predict_on_forward(
+        self,
+        forward_subnet: int,
+        queue: Sequence[int],
+        tracker: DependencyTracker,
+    ) -> List[Prediction]:
+        """Algorithm 3, forward branch (lines 13-19)."""
+        self.predictions_made += 1
+        predictions: List[Prediction] = []
+        # Does launching this forward release a pending backward?  In the
+        # pipeline, a blocked backward at a later stage waits for some
+        # forward to arrive there; its precedence is the forward subnet.
+        still_blocked: List[int] = []
+        for bwd in self.blocked_backwards:
+            if bwd == forward_subnet:
+                predictions.append(
+                    Prediction(
+                        Task(bwd, self.stage, TaskKind.BACKWARD), "pending-backward"
+                    )
+                )
+            else:
+                still_blocked.append(bwd)
+        self.blocked_backwards = still_blocked
+        picks = self._chain_forwards(
+            queue, tracker, assume_released=set(), skip={forward_subnet}
+        )
+        predictions.extend(
+            Prediction(Task(pick, self.stage, TaskKind.FORWARD), "after-forward")
+            for pick in picks
+        )
+        return predictions

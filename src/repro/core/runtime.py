@@ -1,0 +1,98 @@
+"""Per-stage runtime state — the lists of the paper's Algorithm 1.
+
+Each pipeline stage (one GPU worker) owns:
+
+* ``queue`` (L_q) — subnet IDs whose forward input has arrived but whose
+  forward has not been scheduled, kept sorted by sequence ID so the
+  scheduler's in-order scan realises lowest-ID-first priority;
+* ``backward_ready`` — subnet IDs whose backward input (gradient from the
+  next stage, or loss at the last stage) has arrived;
+* ``stage_finished`` (L_f) — subnet IDs whose backward has completed at
+  *this* stage, pruned by the elimination scheme;
+* ``known`` (L_SN) — the subnet descriptors this stage has retrieved.
+
+The state object is pure bookkeeping; decisions are made by the scheduler
+and the engine, which keeps this faithful to the paper's decentralised
+design (every stage could run this privately).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import SchedulingError
+from repro.supernet.subnet import Subnet
+
+__all__ = ["CspStageState"]
+
+
+@dataclass
+class CspStageState:
+    stage: int
+    queue: List[int] = field(default_factory=list)
+    backward_ready: List[int] = field(default_factory=list)
+    stage_finished: Set[int] = field(default_factory=set)
+    known: Dict[int, Subnet] = field(default_factory=dict)
+    #: subnets whose forward ran here and whose backward has not yet
+    busy_subnets: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def retrieve(self, subnet: Subnet) -> None:
+        """L_SN.append(retrieve()) — learn a subnet descriptor."""
+        self.known[subnet.subnet_id] = subnet
+
+    def enqueue_forward(self, subnet_id: int) -> None:
+        """A forward input arrived at this stage (receiveFwd)."""
+        if subnet_id in self.queue:
+            raise SchedulingError(
+                f"stage {self.stage}: duplicate forward arrival for {subnet_id}"
+            )
+        insort(self.queue, subnet_id)
+
+    def pop_forward(self, subnet_id: int) -> None:
+        """L_q.pop(qidx) after the scheduler picked ``subnet_id``."""
+        try:
+            self.queue.remove(subnet_id)
+        except ValueError:
+            raise SchedulingError(
+                f"stage {self.stage}: scheduled {subnet_id} not in queue"
+            ) from None
+        self.busy_subnets.add(subnet_id)
+
+    def enqueue_backward(self, subnet_id: int) -> None:
+        """A backward input arrived (receiveBwd / last-stage loss)."""
+        if subnet_id in self.backward_ready:
+            raise SchedulingError(
+                f"stage {self.stage}: duplicate backward arrival for {subnet_id}"
+            )
+        insort(self.backward_ready, subnet_id)
+
+    def pop_backward(self) -> Optional[int]:
+        """Lowest-ID ready backward, or None (backward-first priority)."""
+        if not self.backward_ready:
+            return None
+        return self.backward_ready.pop(0)
+
+    def finish_backward(self, subnet_id: int, frontier: int) -> None:
+        """flush + L_f.append, then prune ids below the global frontier."""
+        self.stage_finished.add(subnet_id)
+        self.busy_subnets.discard(subnet_id)
+        if frontier:
+            self.stage_finished = {
+                sid for sid in self.stage_finished if sid >= frontier
+            }
+
+    # ------------------------------------------------------------------
+    def subnet(self, subnet_id: int) -> Subnet:
+        try:
+            return self.known[subnet_id]
+        except KeyError:
+            raise SchedulingError(
+                f"stage {self.stage}: unknown subnet {subnet_id}"
+            ) from None
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.queue or self.backward_ready)

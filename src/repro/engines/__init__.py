@@ -1,0 +1,24 @@
+"""Execution engines: pipelined (simulated cluster) and sequential.
+
+* :class:`PipelineEngine` runs a subnet stream through the discrete-event
+  cluster under a sync policy (CSP/BSP/ASP/SSP), optionally carrying a
+  :class:`FunctionalPlane` that performs the real numpy training in event
+  order — the source of loss curves, parameter digests and access logs.
+* :class:`SequentialEngine` is the ground truth: one subnet at a time in
+  sequence-ID order, the semantics CSP must be bitwise equivalent to.
+"""
+
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.intra import IntraSubnetEngine, IntraSubnetResult
+from repro.engines.pipeline import PipelineEngine, PipelineResult
+from repro.engines.sequential import SequentialEngine, SequentialResult
+
+__all__ = [
+    "FunctionalPlane",
+    "IntraSubnetEngine",
+    "IntraSubnetResult",
+    "PipelineEngine",
+    "PipelineResult",
+    "SequentialEngine",
+    "SequentialResult",
+]

@@ -1,0 +1,185 @@
+"""The functional training plane: real numpy math driven in event order.
+
+The pipeline engine decides *when* each stage's forward/backward happens;
+this plane performs the corresponding parameter READs, computation and
+WRITEs at those instants.  Because the plane is deterministic, the only
+thing that can change a run's final weights is the interleaving the sync
+policy permits — which is exactly the paper's reproducibility argument.
+
+The plane deliberately uses a small *functional batch* independent of the
+timing plane's (memory-limited) batch: Definition 1 is about bit equality
+under reordering, which is insensitive to batch width, and a small batch
+keeps thousand-subnet experiments fast on a laptop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticTaskData
+from repro.nn import functional as F
+from repro.nn.init import make_factory
+from repro.nn.layers import layer_forward
+from repro.nn.loss import cross_entropy_with_logits
+from repro.nn.parameter_store import LayerId, ParameterStore
+from repro.nn.program import PendingUpdate, StageActivation, SubnetSegmentProgram
+from repro.nn.optim import SGD
+from repro.seeding import SeedSequenceTree
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+__all__ = ["FunctionalPlane"]
+
+
+class FunctionalPlane:
+    """Owns the parameter store, data source, head, and optimizer."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        seeds: SeedSequenceTree,
+        functional_batch: int = 8,
+        optimizer=None,
+        recompute: bool = False,
+        record_accesses: bool = True,
+    ) -> None:
+        self.supernet = supernet
+        self.space = supernet.space
+        self.seeds = seeds
+        self.functional_batch = functional_batch
+        self.optimizer = optimizer if optimizer is not None else SGD()
+        factory = make_factory(
+            seeds, lambda layer: supernet.impl_for(layer), self.space.functional_width
+        )
+        self.store = ParameterStore(factory, record_accesses=record_accesses)
+        self.program = SubnetSegmentProgram(self.store, recompute=recompute)
+        self.data = SyntheticTaskData(self.space, seeds)
+        # The classification head is frozen: it is shared by *every*
+        # subnet, so making it trainable would causally chain all subnets
+        # and serialise the pipeline; real supernet systems keep shared
+        # stem/head updates out of the per-subnet causal order.  Using the
+        # data teacher as the head makes the task well-posed — a subnet
+        # close to the identity map already classifies well, and training
+        # refines from there (the residual cells start near identity).
+        self.head = self.data.teacher
+        self._targets: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def layer_refs(
+        self, subnet: Subnet, start: int, stop: int
+    ) -> List[Tuple[LayerId, str]]:
+        return [
+            (layer, self.supernet.impl_for(layer))
+            for layer in subnet.layers_in_range(start, stop)
+        ]
+
+    def input_for(self, subnet: Subnet) -> np.ndarray:
+        features, targets = self.data.batch(subnet.subnet_id, self.functional_batch)
+        self._targets[subnet.subnet_id] = targets
+        return features
+
+    # ------------------------------------------------------------------
+    def forward_stage(
+        self,
+        subnet: Subnet,
+        stage: int,
+        block_range: Tuple[int, int],
+        stage_input: np.ndarray,
+        time: float,
+    ) -> StageActivation:
+        start, stop = block_range
+        return self.program.forward(
+            subnet.subnet_id,
+            stage,
+            self.layer_refs(subnet, start, stop),
+            stage_input,
+            time,
+        )
+
+    def loss_and_grad(
+        self, subnet: Subnet, final_output: np.ndarray
+    ) -> Tuple[np.float32, np.ndarray]:
+        """Head projection + cross entropy at the last stage."""
+        targets = self._targets.pop(subnet.subnet_id)
+        logits = F.f32(final_output @ self.head)
+        loss, dlogits = cross_entropy_with_logits(logits, targets)
+        dfinal = F.f32(dlogits @ self.head.T)
+        return loss, dfinal
+
+    def backward_stage(
+        self, activation: StageActivation, doutput: np.ndarray
+    ) -> Tuple[np.ndarray, List[PendingUpdate]]:
+        return self.program.backward(activation, doutput)
+
+    def commit(self, updates: Sequence[PendingUpdate], time: float) -> None:
+        self.program.commit_updates(updates, self.optimizer, time)
+
+    # ------------------------------------------------------------------
+    def digest(self, layers=None) -> str:
+        return self.store.digest(layers)
+
+    def save_checkpoint(self, params_path, optimizer_path=None) -> None:
+        """Checkpoint weights (and optimizer velocity, when present).
+
+        With both files restored, training resumes bit-exactly: the pair
+        (parameters, velocity) is the complete mutable state of the
+        functional plane (data and init are pure functions of the seed).
+        """
+        self.store.save(params_path)
+        if optimizer_path is not None:
+            velocity = getattr(self.optimizer, "_velocity", None)
+            if velocity is not None:
+                arrays = {
+                    f"b{layer[0]}_c{layer[1]}/{name}": array
+                    for (layer, name), array in velocity.items()
+                }
+                np.savez_compressed(optimizer_path, **arrays)
+
+    def load_checkpoint(self, params_path, optimizer_path=None) -> None:
+        self.store.load(params_path)
+        if optimizer_path is not None:
+            velocity = getattr(self.optimizer, "_velocity", None)
+            if velocity is None:
+                raise ValueError(
+                    "optimizer has no velocity state to restore into"
+                )
+            with np.load(optimizer_path) as payload:
+                for key in payload.files:
+                    prefix, name = key.split("/", 1)
+                    block_str, choice_str = prefix[1:].split("_c")
+                    layer = (int(block_str), int(choice_str))
+                    velocity[(layer, name)] = payload[key].astype(
+                        np.float32, copy=False
+                    )
+
+    def inference_forward(self, subnet: Subnet, features: np.ndarray) -> np.ndarray:
+        """Un-logged forward of a whole subnet, returning logits.
+
+        Uses the same block-residual structure as the training program so
+        evaluation and training see the same function.
+        """
+        x = features
+        for layer_id, impl in self.layer_refs(subnet, 0, subnet.num_blocks):
+            params = self.store.materialize(layer_id)
+            out, _cache = layer_forward(impl, x, params)
+            x = x + self.program.RESIDUAL_SCALE * out if self.program.residual_blocks else out
+        return F.f32(x @ self.head)
+
+    def evaluate_subnet(
+        self, subnet: Subnet, eval_batches: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> float:
+        """Held-out mean loss of a candidate architecture (no WRITEs,
+        no access logging — evaluation must not perturb the trace)."""
+        was_recording = self.store.record_accesses
+        self.store.record_accesses = False
+        try:
+            total = 0.0
+            for features, targets in eval_batches:
+                logits = self.inference_forward(subnet, features)
+                loss, _dlogits = cross_entropy_with_logits(logits, targets)
+                total += float(loss)
+            return total / len(eval_batches)
+        finally:
+            self.store.record_accesses = was_recording

@@ -1,0 +1,191 @@
+"""Intra-subnet (micro-batch) task generation — the §2.2 alternative.
+
+The paper contrasts two ways to generate parallel work from a supernet
+stream:
+
+* **inter-subnet** (Retiarii's and NASPipe's choice): each subnet is one
+  task; many subnets fill the pipeline concurrently; CSP must referee
+  their layer sharing;
+* **intra-subnet** (classic GPipe): one subnet at a time, its batch split
+  into M micro-batches that pipeline through the stages.
+
+Intra-subnet generation is trivially reproducible — subnets execute
+strictly sequentially, so no causal hazard exists — but it is
+"non-general": it only utilises the GPUs when the batch is large enough
+that a 1/M slice still saturates a stage, and supernet algorithms favour
+small batches.  This engine makes that argument measurable: it simulates
+the classic all-forward/all-backward micro-batch schedule per subnet on
+the same cluster model, so throughput can be compared head-to-head with
+the inter-subnet engines (see ``benchmarks/test_intra_vs_inter.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.partition.balanced import Partition, balanced_partition
+from repro.sim.cluster import Cluster, ClusterSpec
+from repro.sim.trace import ExecutionTrace
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+__all__ = ["IntraSubnetEngine", "IntraSubnetResult"]
+
+
+@dataclass
+class IntraSubnetResult:
+    space: str
+    num_gpus: int
+    batch: int
+    microbatches: int
+    subnets_completed: int
+    makespan_ms: float
+    trace: ExecutionTrace
+
+    @property
+    def throughput_samples_per_sec(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.subnets_completed * self.batch / (self.makespan_ms / 1000.0)
+
+    @property
+    def bubble_ratio(self) -> float:
+        return self.trace.bubble_ratio()
+
+
+class IntraSubnetEngine:
+    """One subnet at a time; M micro-batches pipelined within it.
+
+    The schedule per subnet is GPipe's: the forward wavefront of all M
+    micro-batches sweeps the stages, then the backward wavefront drains,
+    then the (synchronous) flush ends the subnet.  Because subnets never
+    overlap, causal dependencies are satisfied by construction and the
+    process is reproducible — the cost is the fill/drain bubble *per
+    subnet* plus the latency-floor penalty of computing 1/M batch slices.
+    """
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        stream: SubnetStream,
+        cluster_spec: Optional[ClusterSpec] = None,
+        batch: Optional[int] = None,
+        microbatches: int = 4,
+        recompute: bool = True,
+    ) -> None:
+        if microbatches < 1:
+            raise ConfigError("microbatches must be >= 1")
+        self.supernet = supernet
+        self.space = supernet.space
+        self.stream = stream
+        self.cluster = Cluster(cluster_spec or ClusterSpec())
+        self.stages = self.cluster.num_stages
+        self.batch = batch if batch is not None else self.space.max_batch
+        if self.batch % microbatches:
+            raise ConfigError(
+                f"batch {self.batch} not divisible into {microbatches} "
+                "micro-batches"
+            )
+        self.microbatches = microbatches
+        self.recompute = recompute
+        self.trace = ExecutionTrace(num_gpus=self.stages)
+
+    # ------------------------------------------------------------------
+    def _stage_times_ms(self, subnet: Subnet, partition: Partition):
+        micro = self.batch // self.microbatches
+        scale = self.supernet.batch_time_scale(micro)
+        fwd: List[float] = []
+        bwd: List[float] = []
+        for start, stop in partition:
+            f_total = 0.0
+            b_total = 0.0
+            for layer in subnet.layers_in_range(start, stop):
+                profile = self.supernet.profile(layer)
+                f_total += profile.fwd_ms_ref
+                b_total += profile.bwd_ms_ref
+                if self.recompute:
+                    b_total += profile.fwd_ms_ref
+            fwd.append(f_total * scale)
+            bwd.append(b_total * scale)
+        return fwd, bwd
+
+    def _boundary_ms(self, subnet: Subnet, partition: Partition, stage: int) -> float:
+        layers = subnet.layers_in_range(*partition[stage])
+        if not layers:
+            return 0.0
+        micro = self.batch // self.microbatches
+        nbytes = self.supernet.profile(layers[-1]).activation_bytes_per_sample * micro
+        link = self.cluster.forward_link(stage) if stage < self.stages - 1 else None
+        if link is None:
+            return 0.0
+        return nbytes / link.bandwidth_bytes_per_ms + link.latency_ms
+
+    # ------------------------------------------------------------------
+    def run(self) -> IntraSubnetResult:
+        clock = 0.0
+        completed = 0
+        self.stream.reset()
+        while True:
+            subnet = self.stream.retrieve()
+            if subnet is None:
+                break
+            costs = [
+                self.supernet.profile(layer).fwd_ms_ref
+                + self.supernet.profile(layer).bwd_ms_ref
+                for layer in subnet.layer_ids()
+            ]
+            partition = balanced_partition(costs, self.stages)
+            fwd, bwd = self._stage_times_ms(subnet, partition)
+
+            # Forward wavefront: micro-batch m finishes its stage-k pass
+            # no earlier than (its predecessor at k) and (itself at k-1).
+            fwd_end = [[0.0] * self.stages for _ in range(self.microbatches)]
+            for m in range(self.microbatches):
+                for k in range(self.stages):
+                    ready = clock
+                    if k > 0:
+                        ready = max(
+                            ready,
+                            fwd_end[m][k - 1]
+                            + self._boundary_ms(subnet, partition, k - 1),
+                        )
+                    if m > 0:
+                        ready = max(ready, fwd_end[m - 1][k])
+                    start = ready
+                    fwd_end[m][k] = start + fwd[k]
+                    self.trace.record_interval(
+                        k, start, fwd_end[m][k], "fwd", subnet.subnet_id
+                    )
+            # Backward wavefront, reverse order.
+            bwd_end = [[0.0] * self.stages for _ in range(self.microbatches)]
+            for m in range(self.microbatches):
+                for k in range(self.stages - 1, -1, -1):
+                    ready = fwd_end[self.microbatches - 1][self.stages - 1]
+                    if k < self.stages - 1:
+                        ready = max(
+                            ready,
+                            bwd_end[m][k + 1]
+                            + self._boundary_ms(subnet, partition, k),
+                        )
+                    if m > 0:
+                        ready = max(ready, bwd_end[m - 1][k])
+                    start = ready
+                    bwd_end[m][k] = start + bwd[k]
+                    self.trace.record_interval(
+                        k, start, bwd_end[m][k], "bwd", subnet.subnet_id
+                    )
+            clock = bwd_end[self.microbatches - 1][0]
+            completed += 1
+            self.trace.record_subnet_complete(subnet.subnet_id, clock)
+        return IntraSubnetResult(
+            space=self.space.name,
+            num_gpus=self.stages,
+            batch=self.batch,
+            microbatches=self.microbatches,
+            subnets_completed=completed,
+            makespan_ms=clock,
+            trace=self.trace,
+        )

@@ -1,0 +1,623 @@
+"""The event-driven pipeline engine.
+
+One engine instance runs one subnet stream through a simulated cluster
+under one :class:`~repro.engines.policies.base.SyncPolicy`.  The engine
+owns the generic mechanics every system shares:
+
+* per-stage queues and backward-first dispatch (Algorithm 1's skeleton);
+* task execution on GPUs (durations from profiled layer costs), activation
+  and gradient transfers over inter-stage links;
+* context-manager integration (swap-in stalls, prefetches, evictions) for
+  cached-context systems;
+* the functional plane, executed in event order, with immediate or
+  buffered (BSP flush) update commitment.
+
+Policies supply only the decisions that differ between systems: admission
+windows, forward selection (CSP's Algorithm 2 vs plain FIFO), and flush
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.context_manager import StageContextManager
+from repro.core.runtime import CspStageState
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.policies import make_policy
+from repro.errors import DeadlockError, GpuOutOfMemoryError, PartitionError
+from repro.memory_model import max_feasible_batch, memory_breakdown
+from repro.nn.parameter_store import LayerId
+from repro.nn.program import PendingUpdate, StageActivation
+from repro.partition.balanced import Partition, balanced_partition
+from repro.partition.mirror import MirrorRegistry
+from repro.partition.static import static_partition_for_space
+from repro.sim.cluster import Cluster, ClusterSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+__all__ = ["PipelineEngine", "PipelineResult"]
+
+
+@dataclass
+class _SubnetRun:
+    """Mutable per-subnet in-flight state."""
+
+    subnet: Subnet
+    partition: Partition
+    injected_at: float
+    boundary_in: Dict[int, np.ndarray] = field(default_factory=dict)
+    grad_in: Dict[int, np.ndarray] = field(default_factory=dict)
+    activations: Dict[int, StageActivation] = field(default_factory=dict)
+    buffered_updates: List[PendingUpdate] = field(default_factory=list)
+    loss: Optional[float] = None
+
+
+@dataclass
+class PipelineResult:
+    """Everything an experiment needs from one pipeline run."""
+
+    system: str
+    space: str
+    num_gpus: int
+    batch: int
+    makespan_ms: float
+    subnets_completed: int
+    trace: ExecutionTrace
+    losses: Dict[int, float]
+    digest: Optional[str]
+    bubble_ratio: float
+    total_alu: float
+    cache_hit_rate: Optional[float]
+    throughput_samples_per_sec: float
+    mean_exec_ms: float
+    mirror_push_bytes: int
+    scheduler_calls: int
+    oom_retries: int = 0
+    #: worst per-stage cached parameter footprint observed (bytes);
+    #: None for full-context systems.
+    peak_cache_bytes: Optional[int] = None
+
+    def summary(self) -> str:
+        hit = (
+            f"{self.cache_hit_rate * 100:.1f}%"
+            if self.cache_hit_rate is not None
+            else "N/A"
+        )
+        return (
+            f"{self.system:>22s} {self.space:>7s} D={self.num_gpus:<2d} "
+            f"batch={self.batch:<4d} thr={self.throughput_samples_per_sec:8.1f}/s "
+            f"bubble={self.bubble_ratio:.2f} ALU={self.total_alu:.1f}x hit={hit}"
+        )
+
+
+class PipelineEngine:
+    """Runs one (system, space, cluster, stream) combination."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        stream: SubnetStream,
+        config: SystemConfig,
+        cluster_spec: Optional[ClusterSpec] = None,
+        batch: Optional[int] = None,
+        functional: Optional[FunctionalPlane] = None,
+        event_listener=None,
+    ) -> None:
+        self.supernet = supernet
+        self.space = supernet.space
+        self.stream = stream
+        self.config = config
+        self.cluster = Cluster(cluster_spec or ClusterSpec())
+        self.stages = self.cluster.num_stages
+        if self.space.num_blocks < self.stages:
+            raise PartitionError(
+                f"{self.space.name}: {self.space.num_blocks} choice blocks "
+                f"cannot fill {self.stages} pipeline stages"
+            )
+
+        if batch is None:
+            batch = max_feasible_batch(supernet, config, self.cluster.spec)
+            if batch is None:
+                breakdown = memory_breakdown(supernet, config, self.cluster.spec, 4)
+                raise GpuOutOfMemoryError(
+                    0, breakdown.total, breakdown.usable_bytes
+                )
+        self.batch = batch
+
+        self.sim = SimulationEngine()
+        self.trace = ExecutionTrace(num_gpus=self.stages)
+        #: optional callback(kind, stage, subnet_id, virtual_time_ms) fired
+        #: on task starts/finishes and subnet completions — the hook for
+        #: live monitors, progress bars, or custom trace sinks.
+        self.event_listener = event_listener
+        self.functional = functional
+        self.policy = make_policy(config, self.stages)
+        self.policy.bind(self)
+
+        self.stage_states: List[CspStageState] = [
+            CspStageState(stage) for stage in range(self.stages)
+        ]
+        self._stage_busy: List[bool] = [False] * self.stages
+        self._last_was_backward: List[bool] = [False] * self.stages
+        self.runs: Dict[int, _SubnetRun] = {}
+        self.inflight: Set[int] = set()
+        self.started: Set[int] = set()
+        self._active_started = 0
+        self.oom_retries = 0
+        self.completed: Dict[int, float] = {}
+        self.losses: Dict[int, float] = {}
+
+        self.home_partition = static_partition_for_space(supernet, self.stages)
+        self.mirror_registry = (
+            MirrorRegistry(self.home_partition)
+            if config.mirroring and config.mirror_mode == "mirror"
+            else None
+        )
+        #: migrate mode: the single current residence of each layer
+        #: (initialised lazily to the layer's static home stage).
+        self._layer_location: Dict[LayerId, int] = {}
+        self.migration_ms_total = 0.0
+        self.migration_count = 0
+
+        self.contexts: Optional[List[StageContextManager]] = None
+        if config.context == "cached":
+            share = (
+                self.supernet.expected_subnet_param_count() * 4 / self.stages
+            )
+            capacity = int(config.cache_subnets * share)
+            self.contexts = [
+                StageContextManager(
+                    stage,
+                    supernet,
+                    self.cluster.copy_engines[stage],
+                    capacity,
+                    self.trace,
+                )
+                for stage in range(self.stages)
+            ]
+
+    # ------------------------------------------------------------------
+    # helpers used by policies
+    # ------------------------------------------------------------------
+    def subnet_of(self, subnet_id: int) -> Subnet:
+        return self.runs[subnet_id].subnet
+
+    def stage_layers(self, subnet_id: int, stage: int) -> List[LayerId]:
+        run = self.runs[subnet_id]
+        start, stop = run.partition[stage]
+        return run.subnet.layers_in_range(start, stop)
+
+    def active_started_count(self) -> int:
+        """Subnets whose first forward has begun but which have not
+        completed — the set that actually holds activation stashes."""
+        return self._active_started
+
+    def oldest_unfinished_subnet(self) -> int:
+        if self.inflight:
+            return min(self.inflight)
+        return len(self.completed)
+
+    def prefetch_context(self, stage: int, layers: Sequence[LayerId]) -> None:
+        if self.contexts is not None:
+            self.contexts[stage].prefetch(layers, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def _partition_for(self, subnet: Subnet) -> Partition:
+        if self.config.partitioning == "static":
+            return list(self.home_partition)
+        costs = [
+            self.supernet.profile(layer).fwd_ms_ref
+            + self.supernet.profile(layer).bwd_ms_ref
+            for layer in subnet.layer_ids()
+        ]
+        return balanced_partition(costs, self.stages)
+
+    def _try_inject(self) -> None:
+        while self.stream.remaining and self.policy.can_inject():
+            subnet = self.stream.retrieve()
+            assert subnet is not None
+            partition = self._partition_for(subnet)
+            run = _SubnetRun(subnet, partition, self.sim.now)
+            self.runs[subnet.subnet_id] = run
+            self.inflight.add(subnet.subnet_id)
+            for state in self.stage_states:
+                state.retrieve(subnet)
+            if self.mirror_registry is not None:
+                self.mirror_registry.register_subnet(subnet, partition, self.sim.now)
+            if self.functional is not None:
+                run.boundary_in[0] = self.functional.input_for(subnet)
+            self.policy.on_injected(subnet.subnet_id)
+            sid = subnet.subnet_id
+            self.sim.schedule_after(
+                0.0, lambda sid=sid: self._on_forward_arrival(0, sid),
+                label=f"inject SN{sid}",
+            )
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def _on_forward_arrival(self, stage: int, subnet_id: int) -> None:
+        self.stage_states[stage].enqueue_forward(subnet_id)
+        self._kick(stage)
+
+    def _on_backward_arrival(self, stage: int, subnet_id: int) -> None:
+        self.stage_states[stage].enqueue_backward(subnet_id)
+        self._kick(stage)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _kick(self, stage: int) -> None:
+        if self._stage_busy[stage]:
+            return
+        state = self.stage_states[stage]
+        # Algorithm 1's loop handles one backward then one forward per
+        # iteration: backwards take priority (they release downstream
+        # dependencies) but alternate with forwards so the forward wave
+        # keeps feeding the pipeline (the 1B1F cadence PipeDream's 1F1B
+        # also follows).  A pure backward-first rule convoys backwards and
+        # periodically starves every stage's forward queue.
+        prefer_forward = self._last_was_backward[stage]
+        if prefer_forward:
+            chosen = self.policy.select_forward(stage)
+            if chosen is not None:
+                state.pop_forward(chosen)
+                self._begin_task(stage, chosen, is_backward=False)
+                return
+        subnet_id = state.pop_backward()
+        if subnet_id is not None:
+            self._begin_task(stage, subnet_id, is_backward=True)
+            return
+        if not prefer_forward:
+            chosen = self.policy.select_forward(stage)
+            if chosen is not None:
+                state.pop_forward(chosen)
+                self._begin_task(stage, chosen, is_backward=False)
+
+    def _home_stage(self, layer: LayerId) -> int:
+        block = layer[0]
+        for stage, (start, stop) in enumerate(self.home_partition):
+            if start <= block < stop:
+                return stage
+        raise KeyError(f"block {block} outside home partition")
+
+    def _migration_delay_ms(self, stage: int, layers, now: float) -> float:
+        """On-demand operator migration cost (§2.3's rejected design).
+
+        In ``migrate`` mode a layer lives on exactly one stage; executing
+        it elsewhere first moves its parameters over the interconnect,
+        synchronously, on the critical path.  Mirroring eliminates this
+        ("NASPipe mirrors these operators between stages and eliminates
+        these costs") at the price of push-sync traffic.
+        """
+        if (
+            self.config.partitioning != "balanced"
+            or self.config.mirror_mode != "migrate"
+        ):
+            return 0.0
+        bandwidth = self.cluster.spec.network_bandwidth_bytes_per_ms
+        latency = self.cluster.spec.network_latency_ms
+        delay = 0.0
+        for layer in layers:
+            location = self._layer_location.get(layer)
+            if location is None:
+                location = self._home_stage(layer)
+            if location != stage:
+                delay += (
+                    self.supernet.profile(layer).param_bytes / bandwidth + latency
+                )
+                self.migration_count += 1
+            self._layer_location[layer] = stage
+        if delay:
+            self.migration_ms_total += delay
+            self.trace.record_interval(stage, now, now + delay, "stall", -1)
+        return delay
+
+    def _task_duration_ms(self, subnet_id: int, stage: int, is_backward: bool) -> float:
+        scale = self.supernet.batch_time_scale(self.batch)
+        total = 0.0
+        for layer in self.stage_layers(subnet_id, stage):
+            profile = self.supernet.profile(layer)
+            if is_backward:
+                total += profile.bwd_ms_ref
+                if self.config.recompute:
+                    total += profile.fwd_ms_ref  # checkpoint re-forward
+            else:
+                total += profile.fwd_ms_ref
+        return total * scale * self.cluster.spec.speed_factor(stage)
+
+    #: oversubscription level treated as a GPU OOM, and the penalty paid
+    #: to catch the exception, reclaim memory and re-execute the stage
+    #: (paper §4.2's retry path).
+    OOM_THRESHOLD = 1.5
+    OOM_RETRY_PENALTY_MS = 5.0
+
+    def _begin_task(
+        self, stage: int, subnet_id: int, is_backward: bool,
+        retrying: bool = False,
+    ) -> None:
+        now = self.sim.now
+        self._stage_busy[stage] = True
+        if stage == 0 and not is_backward and subnet_id not in self.started:
+            self.started.add(subnet_id)
+            self._active_started += 1
+        layers = self.stage_layers(subnet_id, stage)
+        if (
+            self.contexts is not None
+            and not retrying
+            and self.contexts[stage].oversubscription() > self.OOM_THRESHOLD
+        ):
+            # Simulated CUDA OOM: catch, reclaim, re-execute (§4.2).
+            # Checked before any other time is spent so the retry stall
+            # never overlaps migration or swap-in intervals.
+            self.oom_retries += 1
+            self.contexts[stage].reclaim(now)
+            retry_at = now + self.OOM_RETRY_PENALTY_MS
+            self.trace.record_interval(stage, now, retry_at, "stall", subnet_id)
+            self.sim.schedule(
+                retry_at,
+                lambda: self._begin_task(
+                    stage, subnet_id, is_backward, retrying=True
+                ),
+                label=f"oom-retry SN{subnet_id}@P{stage}",
+            )
+            return
+        start = now
+        start += self._migration_delay_ms(stage, layers, now)
+        if self.contexts is not None:
+            context = self.contexts[stage]
+            plan = context.acquire_for_task(layers, start)
+            if plan.ready_time > start:
+                # Synchronous swap-in: the GPU idles until the copy lands.
+                self.trace.record_interval(
+                    stage, start, plan.ready_time, "stall", subnet_id
+                )
+                start = plan.ready_time
+        self.policy.before_task(stage, subnet_id, is_backward)
+        if self.contexts is not None and self.config.predictor:
+            # Status passed between stages (paper §3.3): as this task
+            # starts, its successor stage prefetches the same subnet's
+            # slice — a full task duration of copy lead time.
+            if is_backward and stage > 0:
+                self.prefetch_context(
+                    stage - 1, self.stage_layers(subnet_id, stage - 1)
+                )
+            elif not is_backward and stage < self.stages - 1:
+                self.prefetch_context(
+                    stage + 1, self.stage_layers(subnet_id, stage + 1)
+                )
+        duration = self._task_duration_ms(subnet_id, stage, is_backward)
+        self._last_was_backward[stage] = is_backward
+        kind = "bwd" if is_backward else "fwd"
+        self.trace.record_interval(stage, start, start + duration, kind, subnet_id)
+        self._emit(f"{kind}-start", stage, subnet_id, start)
+        self.sim.schedule(
+            start + duration,
+            lambda: self._on_task_done(stage, subnet_id, is_backward),
+            label=f"SN{subnet_id}.{kind}@P{stage}",
+        )
+
+    def _emit(self, kind: str, stage: int, subnet_id: int, time: float) -> None:
+        if self.event_listener is not None:
+            self.event_listener(kind, stage, subnet_id, time)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _on_task_done(self, stage: int, subnet_id: int, is_backward: bool) -> None:
+        self._stage_busy[stage] = False
+        self._emit(
+            "bwd-done" if is_backward else "fwd-done",
+            stage,
+            subnet_id,
+            self.sim.now,
+        )
+        if is_backward:
+            self._finish_backward(stage, subnet_id)
+        else:
+            self._finish_forward(stage, subnet_id)
+        # A backward may have released layers other stages' queued forwards
+        # were waiting on (CSP), or lifted an admission barrier (BSP flush,
+        # SSP staleness) — re-kick every idle stage, own stage first.
+        self._kick(stage)
+        for other in range(self.stages):
+            if other != stage:
+                self._kick(other)
+        self._try_inject()
+
+    def _boundary_bytes(self, subnet_id: int, stage: int) -> int:
+        layers = self.stage_layers(subnet_id, stage)
+        per_sample = (
+            self.supernet.profile(layers[-1]).activation_bytes_per_sample
+            if layers
+            else 0
+        )
+        return per_sample * self.batch
+
+    def _finish_forward(self, stage: int, subnet_id: int) -> None:
+        now = self.sim.now
+        run = self.runs[subnet_id]
+        if self.functional is not None:
+            activation = self.functional.forward_stage(
+                run.subnet, stage, run.partition[stage], run.boundary_in[stage], now
+            )
+            run.activations[stage] = activation
+        if self.contexts is not None:
+            # Algorithm 1 line 24: ctxt_manager(fwd_id, EVICT) — the slice
+            # leaves the cache after the forward; the pending-backward
+            # prefetch (issued when the backward starts upstream) brings
+            # it back with a task's worth of lead time.
+            context = self.contexts[stage]
+            context.release_after_task(
+                self.stage_layers(subnet_id, stage), now, dirty=False
+            )
+            if stage < self.stages - 1:
+                # At the last stage the backward runs immediately on the
+                # same GPU — evicting there would guarantee a refetch.
+                context.evict_subnet(self.stage_layers(subnet_id, stage), now)
+
+        if stage < self.stages - 1:
+            if self.functional is not None:
+                run.boundary_in[stage + 1] = run.activations[stage].stage_output
+            arrival = self.cluster.forward_link(stage).transfer(
+                self._boundary_bytes(subnet_id, stage), now
+            )
+            self.sim.schedule(
+                arrival,
+                lambda: self._on_forward_arrival(stage + 1, subnet_id),
+                label=f"fwd-xfer SN{subnet_id}->P{stage + 1}",
+            )
+        else:
+            # Last stage: loss is available; the backward chain begins here.
+            if self.functional is not None:
+                loss, dfinal = self.functional.loss_and_grad(
+                    run.subnet, run.activations[stage].stage_output
+                )
+                run.loss = float(loss)
+                run.grad_in[stage] = dfinal
+                self.losses[subnet_id] = float(loss)
+            self.stage_states[stage].enqueue_backward(subnet_id)
+
+        self.policy.on_forward_done(stage, subnet_id)
+
+    def _finish_backward(self, stage: int, subnet_id: int) -> None:
+        now = self.sim.now
+        run = self.runs[subnet_id]
+        layers = self.stage_layers(subnet_id, stage)
+
+        if self.functional is not None:
+            activation = run.activations.pop(stage)
+            dinput, updates = self.functional.backward_stage(
+                activation, run.grad_in.pop(stage)
+            )
+            if stage > 0:
+                run.grad_in[stage - 1] = dinput
+            if self.policy.commits_immediately:
+                self.functional.commit(updates, now)
+            else:
+                run.buffered_updates.extend(updates)
+
+        if self.mirror_registry is not None:
+            for layer in layers:
+                self.mirror_registry.record_update_push(
+                    layer, self.supernet.profile(layer).param_bytes
+                )
+
+        if self.contexts is not None:
+            context = self.contexts[stage]
+            context.release_after_task(layers, now, dirty=True)
+            context.evict_subnet(layers, now)
+
+        self.stage_states[stage].finish_backward(
+            subnet_id, self._tracker_frontier()
+        )
+        self.policy.on_backward_done(stage, subnet_id)
+
+        if stage > 0:
+            arrival = self.cluster.backward_link(stage).transfer(
+                self._boundary_bytes(subnet_id, stage - 1), now
+            )
+            self.sim.schedule(
+                arrival,
+                lambda: self._on_backward_arrival(stage - 1, subnet_id),
+                label=f"bwd-xfer SN{subnet_id}->P{stage - 1}",
+            )
+        else:
+            self._complete_subnet(subnet_id)
+
+    def _tracker_frontier(self) -> int:
+        policy = self.policy
+        tracker = getattr(policy, "tracker", None)
+        return tracker.frontier if tracker is not None else 0
+
+    def _complete_subnet(self, subnet_id: int) -> None:
+        now = self.sim.now
+        self.inflight.discard(subnet_id)
+        if subnet_id in self.started:
+            self._active_started -= 1
+        self.completed[subnet_id] = now
+        self.trace.record_subnet_complete(subnet_id, now)
+        self._emit("subnet-complete", 0, subnet_id, now)
+        flush_ids = self.policy.on_subnet_complete(subnet_id)
+        self._flush(flush_ids)
+        # Drop the run state we no longer need (keep subnet + partition for
+        # late queries; activations and boundaries are already consumed).
+        run = self.runs[subnet_id]
+        run.boundary_in.clear()
+        run.grad_in.clear()
+
+    def _flush(self, flush_ids: Sequence[int]) -> None:
+        if self.functional is None:
+            return
+        for sid in flush_ids:
+            run = self.runs[sid]
+            updates = sorted(
+                run.buffered_updates, key=lambda update: update.layer
+            )
+            self.functional.commit(updates, self.sim.now)
+            run.buffered_updates.clear()
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineResult:
+        self._try_inject()
+        self.sim.run()
+        self._flush(self.policy.finalize())
+        if len(self.completed) != len(self.stream):
+            raise DeadlockError(
+                {
+                    "completed": len(self.completed),
+                    "stream": len(self.stream),
+                    "inflight": sorted(self.inflight),
+                }
+            )
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _result(self) -> PipelineResult:
+        cache_hit = None
+        if self.contexts is not None:
+            hits = sum(context.hits for context in self.contexts)
+            misses = sum(context.misses for context in self.contexts)
+            if hits + misses:
+                cache_hit = hits / (hits + misses)
+        scheduler = getattr(self.policy, "scheduler", None)
+        return PipelineResult(
+            system=self.config.name,
+            space=self.space.name,
+            num_gpus=self.stages,
+            batch=self.batch,
+            makespan_ms=self.trace.makespan,
+            subnets_completed=len(self.completed),
+            trace=self.trace,
+            losses=dict(self.losses),
+            digest=self.functional.digest() if self.functional else None,
+            bubble_ratio=self.trace.bubble_ratio(),
+            total_alu=self.trace.total_alu_utilization(
+                self.supernet.gpu_alu_efficiency(self.batch)
+            ),
+            cache_hit_rate=cache_hit,
+            throughput_samples_per_sec=self.trace.throughput_samples_per_sec(
+                self.batch
+            ),
+            mean_exec_ms=self.trace.mean_exec_ms(),
+            mirror_push_bytes=(
+                self.mirror_registry.push_bytes_total if self.mirror_registry else 0
+            ),
+            scheduler_calls=scheduler.calls if scheduler else 0,
+            oom_retries=self.oom_retries,
+            peak_cache_bytes=(
+                max(c.peak_resident_bytes for c in self.contexts)
+                if self.contexts
+                else None
+            ),
+        )

@@ -1,0 +1,22 @@
+"""Synchronisation policies: CSP (NASPipe), BSP (GPipe/VPipe), ASP
+(PipeDream), SSP (stale-synchronous extension)."""
+
+from repro.engines.policies.base import SyncPolicy
+from repro.engines.policies.csp import CspPolicy
+from repro.engines.policies.bsp import BspPolicy
+from repro.engines.policies.asp import AspPolicy, SspPolicy
+
+__all__ = ["SyncPolicy", "CspPolicy", "BspPolicy", "AspPolicy", "SspPolicy"]
+
+
+def make_policy(config, stages: int) -> SyncPolicy:
+    """Instantiate the policy named by ``config.sync``."""
+    if config.sync == "csp":
+        return CspPolicy(config, stages)
+    if config.sync == "bsp":
+        return BspPolicy(config, stages)
+    if config.sync == "asp":
+        return AspPolicy(config, stages)
+    if config.sync == "ssp":
+        return SspPolicy(config, stages)
+    raise ValueError(f"unknown sync mode {config.sync!r}")

@@ -1,0 +1,86 @@
+"""The policy interface the pipeline engine drives.
+
+A policy answers four questions the engine cannot answer generically:
+
+1. may another subnet be injected right now? (``can_inject``)
+2. which queued forward task should stage *k* run next?
+   (``select_forward``)
+3. do parameter updates commit at backward completion, or later?
+   (``commits_immediately`` / ``flush_ready``)
+4. what bookkeeping follows task completion? (the ``on_*`` hooks)
+
+All policies are backward-first (the engine runs any ready backward
+before consulting ``select_forward``) — PipeDream's 1F1B, GPipe's drain
+phase and NASPipe's Algorithm 1 all share that priority.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engines.pipeline import PipelineEngine
+
+__all__ = ["SyncPolicy"]
+
+
+class SyncPolicy(ABC):
+    """Base class wiring a policy to its engine."""
+
+    #: updates commit at each backward completion (CSP/ASP); False means
+    #: the engine buffers them until ``flush_ready`` returns subnet ids.
+    commits_immediately: bool = True
+
+    def __init__(self, config: SystemConfig, stages: int) -> None:
+        self.config = config
+        self.stages = stages
+        self.engine: Optional["PipelineEngine"] = None
+
+    def bind(self, engine: "PipelineEngine") -> None:
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> int:
+        return self.config.default_window(self.stages)
+
+    def can_inject(self) -> bool:
+        assert self.engine is not None
+        return len(self.engine.inflight) < self.window
+
+    def can_start_forward(self, stage: int, subnet_id: int) -> bool:
+        """Gate on *starting* a subnet's first forward (stage 0).
+
+        Default policies admit exactly ``window`` subnets, so starting is
+        never separately constrained; CSP overrides this (admission is
+        queue-capped, starting is window-capped).
+        """
+        return True
+
+    def on_injected(self, subnet_id: int) -> None:
+        """A subnet entered the pipeline."""
+
+    @abstractmethod
+    def select_forward(self, stage: int) -> Optional[int]:
+        """Pick a queued forward task for ``stage`` (subnet id) or None."""
+
+    def before_task(self, stage: int, subnet_id: int, is_backward: bool) -> None:
+        """Called as a task is about to start (predictor hook point)."""
+
+    def on_forward_done(self, stage: int, subnet_id: int) -> None:
+        pass
+
+    def on_backward_done(self, stage: int, subnet_id: int) -> None:
+        pass
+
+    def on_subnet_complete(self, subnet_id: int) -> List[int]:
+        """Returns subnet ids whose buffered updates must flush now, in
+        commit order (empty for immediate-commit policies)."""
+        return []
+
+    def finalize(self) -> List[int]:
+        """End-of-stream flush (BSP's possibly partial last bulk)."""
+        return []

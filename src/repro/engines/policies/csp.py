@@ -1,0 +1,150 @@
+"""CSP policy: the NASPipe scheduler + predictor glued to the engine.
+
+Forward selection runs Algorithm 2 over the stage's sorted queue; every
+candidate the (possibly conservative) scheduler proposes is validated
+against the exact per-layer :class:`DependencyTracker` before execution —
+the context executor's "check ... for safety" (paper §3.1).
+
+When the predictor is enabled, the policy calls Algorithm 3 at the two
+paper-specified points (before each backward and each forward) and turns
+its predictions into context-manager prefetches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.config import SystemConfig
+from repro.core.dependency import DependencyTracker
+from repro.core.predictor import ContextPredictor
+from repro.core.scheduler import CspScheduler
+from repro.engines.policies.base import SyncPolicy
+from repro.nn.parameter_store import LayerId
+
+__all__ = ["CspPolicy"]
+
+
+class CspPolicy(SyncPolicy):
+    commits_immediately = True
+
+    def __init__(self, config: SystemConfig, stages: int) -> None:
+        super().__init__(config, stages)
+        self.tracker = DependencyTracker()
+        self.scheduler = CspScheduler(mode=config.scheduler_mode)
+        self._predictors: List[ContextPredictor] = []
+
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        if self.config.predictor and self.config.context == "cached":
+            self._predictors = [
+                ContextPredictor(
+                    stage,
+                    self.scheduler,
+                    self._stage_layers_fn(stage),
+                    depth=self.config.predictor_depth,
+                )
+                for stage in range(self.stages)
+            ]
+
+    # ------------------------------------------------------------------
+    def _stage_layers_fn(self, stage: int) -> Callable[[int], Sequence[LayerId]]:
+        def stage_layers(subnet_id: int) -> Sequence[LayerId]:
+            assert self.engine is not None
+            return self.engine.stage_layers(subnet_id, stage)
+
+        return stage_layers
+
+    # ------------------------------------------------------------------
+    #: Algorithm 1 retrieves subnets continuously; the queue list holds
+    #: descriptors only (no GPU memory), bounded as in the paper's
+    #: complexity analysis ("|L_q| is usually ... less than 30").
+    QUEUE_CAP = 30
+
+    def can_inject(self) -> bool:
+        # Admission is a *descriptor* operation for CSP: a parked subnet
+        # costs nothing until its first forward starts, so admission is
+        # capped by queue length, not by the execution window.  Count
+        # admitted-but-unstarted subnets rather than the stage-0 queue —
+        # same-instant injections only reach the queue at their arrival
+        # event, and counting the queue would let a burst overshoot.
+        assert self.engine is not None
+        parked = len(self.engine.inflight) - self.engine.active_started_count()
+        return parked < self.QUEUE_CAP
+
+    def can_start_forward(self, stage: int, subnet_id: int) -> bool:
+        # The execution window (activation stashes) only counts subnets
+        # that have actually started.
+        assert self.engine is not None
+        if stage != 0:
+            return True
+        return self.engine.active_started_count() < self.window
+
+    def on_injected(self, subnet_id: int) -> None:
+        assert self.engine is not None
+        self.tracker.register(self.engine.subnet_of(subnet_id))
+
+    def select_forward(self, stage: int) -> Optional[int]:
+        assert self.engine is not None
+        state = self.engine.stage_states[stage]
+        if stage == 0 and not self.can_start_forward(0, -1):
+            return None  # execution window full; queue keeps its parked ids
+        if self.config.in_order_only:
+            # "w/o scheduler" ablation: only the head of the queue may
+            # run; no aggressive advancement of later, independent tasks.
+            if not state.queue:
+                return None
+            head = state.queue[0]
+            layers = self.engine.stage_layers(head, stage)
+            return head if self.tracker.is_clear(head, layers) else None
+
+        skip: Set[int] = set()
+        stage_layers = self._stage_layers_fn(stage)
+        while True:
+            decision = self.scheduler.schedule(
+                state.queue,
+                stage_layers,
+                self.tracker,
+                stage_finished=state.stage_finished,
+                subnet_of=state.subnet,
+                skip=skip,
+            )
+            if not decision.found:
+                return None
+            # Safety validation with exact per-layer semantics; only
+            # relevant in conservative mode, free in exact mode.
+            if self.tracker.is_clear(decision.qval, stage_layers(decision.qval)):
+                return decision.qval
+            skip.add(decision.qval)
+
+    # ------------------------------------------------------------------
+    def before_task(self, stage: int, subnet_id: int, is_backward: bool) -> None:
+        if not self._predictors:
+            return
+        assert self.engine is not None
+        predictor = self._predictors[stage]
+        state = self.engine.stage_states[stage]
+        if is_backward:
+            predictions = predictor.predict_on_backward(
+                subnet_id,
+                state.queue,
+                self.tracker,
+                pending_backward_hints=sorted(state.busy_subnets),
+            )
+        else:
+            predictions = predictor.predict_on_forward(
+                subnet_id, state.queue, self.tracker
+            )
+        for prediction in predictions:
+            layers = self.engine.stage_layers(prediction.task.subnet_id, stage)
+            self.engine.prefetch_context(stage, layers)
+
+    # ------------------------------------------------------------------
+    def on_backward_done(self, stage: int, subnet_id: int) -> None:
+        assert self.engine is not None
+        self.tracker.release_layers(
+            subnet_id, self.engine.stage_layers(subnet_id, stage)
+        )
+
+    def on_subnet_complete(self, subnet_id: int) -> List[int]:
+        self.tracker.mark_finished(subnet_id)
+        return []

@@ -1,0 +1,83 @@
+"""The sequential ground-truth trainer.
+
+Trains the subnet stream one subnet at a time, in sequence-ID order, each
+subnet's forward fully preceding its backward, updates committed
+immediately — the isolated-and-sequential semantics NAS exploration
+algorithms assume (paper §2.1) and the reference CSP must be bitwise
+equivalent to (Definition 1).
+
+Also reports a virtual single-GPU wall-clock (sum of profiled subnet
+times), giving experiments a "1 GPU" point for scalability comparisons
+and for the artifact's 1-GPU-vs-4-GPU bitwise check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engines.functional_plane import FunctionalPlane
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.supernet import Supernet
+
+__all__ = ["SequentialEngine", "SequentialResult"]
+
+
+@dataclass
+class SequentialResult:
+    space: str
+    subnets_completed: int
+    batch: int
+    makespan_ms: float
+    losses: Dict[int, float]
+    digest: Optional[str]
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        if not self.losses:
+            return None
+        return self.losses[max(self.losses)]
+
+
+class SequentialEngine:
+    """One subnet at a time; the semantics CSP reproduces."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        stream: SubnetStream,
+        functional: FunctionalPlane,
+        batch: Optional[int] = None,
+    ) -> None:
+        self.supernet = supernet
+        self.stream = stream
+        self.functional = functional
+        self.batch = batch if batch is not None else supernet.space.max_batch
+
+    def run(self) -> SequentialResult:
+        losses: Dict[int, float] = {}
+        clock_ms = 0.0
+        self.stream.reset()
+        while True:
+            subnet = self.stream.retrieve()
+            if subnet is None:
+                break
+            stage_input = self.functional.input_for(subnet)
+            activation = self.functional.forward_stage(
+                subnet, 0, (0, subnet.num_blocks), stage_input, clock_ms
+            )
+            loss, dfinal = self.functional.loss_and_grad(
+                subnet, activation.stage_output
+            )
+            _dinput, updates = self.functional.backward_stage(activation, dfinal)
+            self.functional.commit(updates, clock_ms)
+            losses[subnet.subnet_id] = float(loss)
+            clock_ms += self.supernet.subnet_total_ms(subnet, self.batch)
+        return SequentialResult(
+            space=self.supernet.space.name,
+            subnets_completed=len(losses),
+            batch=self.batch,
+            makespan_ms=clock_ms,
+            losses=losses,
+            digest=self.functional.digest(),
+        )

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the NASPipe reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Specific subclasses carry
+the context a caller needs to recover (e.g. which GPU ran out of memory).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An experiment or system configuration is invalid."""
+
+
+class SearchSpaceError(ReproError):
+    """A search-space definition or subnet encoding is malformed."""
+
+
+class PartitionError(ReproError):
+    """A subnet could not be partitioned into the requested stages."""
+
+
+class SchedulingError(ReproError):
+    """The pipeline scheduler reached an inconsistent state."""
+
+
+class DependencyViolationError(SchedulingError):
+    """A task was executed in violation of a CSP causal dependency.
+
+    Raised by the runtime's self-check; under correct operation it never
+    fires.  Its presence in tests is what makes Definition 2 enforceable.
+    """
+
+    def __init__(self, task: object, blocking_subnet: int, layer: object) -> None:
+        self.task = task
+        self.blocking_subnet = blocking_subnet
+        self.layer = layer
+        super().__init__(
+            f"task {task} ran before subnet {blocking_subnet} released "
+            f"shared layer {layer}"
+        )
+
+
+class GpuOutOfMemoryError(ReproError):
+    """A simulated GPU exceeded its memory capacity."""
+
+    def __init__(self, gpu_id: int, requested: int, available: int) -> None:
+        self.gpu_id = gpu_id
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"GPU {gpu_id}: requested {requested} bytes, "
+            f"only {available} available"
+        )
+
+
+class ContextNotResidentError(ReproError):
+    """A task started executing while its parameters were not on the GPU.
+
+    The context executor checks residency before running a task ("for
+    safety", paper section 3.1); this error is that check firing.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an invalid state (e.g. deadlock)."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable event remains but work is outstanding."""
+
+    def __init__(self, pending: object) -> None:
+        self.pending = pending
+        super().__init__(f"pipeline deadlocked with pending work: {pending}")
+
+
+class ReproducibilityError(ReproError):
+    """Two runs that must match bitwise did not."""

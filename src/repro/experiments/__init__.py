@@ -1,0 +1,12 @@
+"""Experiment runners: one module per paper table/figure.
+
+Every runner exposes ``run(scale) -> rows`` plus a ``format_text(rows)``
+renderer, and is driven both by the benchmark suite (``benchmarks/``) and
+the CLI (``python -m repro <experiment>``).  ``ExperimentScale`` shrinks
+stream lengths / GPU counts for CI while keeping the full-paper settings
+one flag away.
+"""
+
+from repro.experiments.common import ExperimentScale, run_system
+
+__all__ = ["ExperimentScale", "run_system"]

@@ -1,0 +1,55 @@
+"""CSV export for experiment results (plotting-tool interchange).
+
+Every runner returns lists of dataclass rows; this module flattens any of
+them to CSV so figures can be re-plotted outside the terminal renderers.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["rows_to_csv", "write_csv"]
+
+
+def _flatten(value):
+    if isinstance(value, dict):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return ";".join(str(v) for v in value)
+    return value
+
+
+def rows_to_csv(rows: Sequence[object]) -> str:
+    """Render a list of dataclass instances as CSV text.
+
+    Nested containers are flattened to strings; heavyweight fields whose
+    names suggest raw traces are skipped.
+    """
+    if not rows:
+        return ""
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"expected dataclass rows, got {type(first).__name__}")
+    skip = {"trace", "result", "points", "gantt"}
+    names = [
+        field.name
+        for field in dataclasses.fields(first)
+        if field.name not in skip
+    ]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(names)
+    for row in rows:
+        writer.writerow([_flatten(getattr(row, name)) for name in names])
+    return buffer.getvalue()
+
+
+def write_csv(rows: Sequence[object], path) -> Path:
+    """Write rows to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(rows_to_csv(rows))
+    return target

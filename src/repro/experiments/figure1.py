@@ -1,0 +1,143 @@
+"""Figure 1: ASP vs BSP vs CSP on a toy dependent subnet stream.
+
+Reproduces the paper's motivating figure: a short ordered list of subnets
+with causal dependencies, executed under the three synchronisation
+patterns on a small pipeline.  For each policy we report
+
+* an ASCII Gantt chart of per-GPU task intervals, and
+* the number of **violated causal dependencies** — parameter READs that
+  observed a shared layer before its earlier writer's WRITE landed,
+  counted from the functional plane's access log.
+
+CSP shows zero violations at a bubble rate between BSP's and ASP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines import gpipe, naspipe, pipedream
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine, PipelineResult
+from repro.nn.parameter_store import AccessKind, ParameterStore
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import get_search_space
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+__all__ = ["ToyRun", "run", "format_text", "count_violations"]
+
+_STAGES = 2
+_SPACE = "NLP.c3"
+_TOY_BLOCKS = 8
+
+
+@dataclass
+class ToyRun:
+    policy: str
+    result: PipelineResult
+    violations: int
+    gantt: str
+
+
+def _toy_stream() -> Tuple[Supernet, SubnetStream]:
+    """Six subnets over an 8-block space with deliberate layer sharing:
+    subnets 0/2/4 share choices, as do 1/3/5 — the figure's dependency
+    chains."""
+    space = get_search_space(_SPACE).scaled(
+        name="toy", num_blocks=_TOY_BLOCKS, functional_width=16
+    )
+    supernet = Supernet(space)
+    even = tuple([1] * _TOY_BLOCKS)
+    odd = tuple([2] * _TOY_BLOCKS)
+    subnets = [Subnet(i, even if i % 2 == 0 else odd) for i in range(6)]
+    return supernet, SubnetStream(subnets)
+
+
+def count_violations(store: ParameterStore) -> int:
+    """READs that happened before an earlier subnet's WRITE to the same
+    layer — Definition 2 violations."""
+    # First pass: who uses each layer (every user reads then writes it).
+    users: Dict[tuple, set] = {}
+    for record in store.access_log:
+        users.setdefault(record.layer, set()).add(record.subnet_id)
+    # Second pass: a READ by y violates Definition 2 for every earlier
+    # user x of the same layer whose WRITE has not yet been committed.
+    violations = 0
+    written: Dict[tuple, set] = {}
+    for record in store.access_log:
+        if record.kind is AccessKind.WRITE:
+            written.setdefault(record.layer, set()).add(record.subnet_id)
+        else:
+            done = written.get(record.layer, set())
+            violations += sum(
+                1
+                for sid in users[record.layer]
+                if sid < record.subnet_id and sid not in done
+            )
+    return violations
+
+
+def _gantt(result: PipelineResult, width: int = 72) -> str:
+    rows = result.trace.gantt_rows()
+    makespan = result.trace.makespan or 1.0
+    lines = []
+    for gpu in range(result.num_gpus):
+        cells = [" "] * width
+        for gpu_id, start, end, kind, subnet in rows:
+            if gpu_id != gpu or kind == "stall":
+                continue
+            lo = int(start / makespan * (width - 1))
+            hi = max(lo + 1, int(end / makespan * (width - 1)))
+            mark = str(subnet % 10) if kind == "fwd" else chr(ord("a") + subnet % 10)
+            for pos in range(lo, min(hi, width)):
+                cells[pos] = mark
+        lines.append(f"GPU{gpu} |" + "".join(cells) + "|")
+    lines.append("       (digits: forward of SNi; letters: backward of SNi)")
+    return "\n".join(lines)
+
+
+def run(seed: int = 2022) -> List[ToyRun]:
+    runs: List[ToyRun] = []
+    for name, config in (
+        # Windows sized so several subnets overlap on the 2-stage toy
+        # pipeline — the regime the paper's figure depicts.
+        ("ASP (PipeDream)", pipedream(inject_window=4)),
+        ("BSP (GPipe)", gpipe(bulk_size=4)),
+        ("CSP (NASPipe)", naspipe(inject_window=4)),
+    ):
+        supernet, stream = _toy_stream()
+        plane = FunctionalPlane(supernet, SeedSequenceTree(seed))
+        engine = PipelineEngine(
+            supernet,
+            stream,
+            config,
+            ClusterSpec(num_gpus=_STAGES),
+            batch=16,
+            functional=plane,
+        )
+        result = engine.run()
+        runs.append(
+            ToyRun(
+                policy=name,
+                result=result,
+                violations=count_violations(plane.store),
+                gantt=_gantt(result),
+            )
+        )
+    return runs
+
+
+def format_text(runs: List[ToyRun]) -> str:
+    lines = ["Figure 1 — ASP vs BSP vs CSP on a dependent subnet stream", ""]
+    for toy in runs:
+        lines.append(
+            f"{toy.policy}: bubble={toy.result.bubble_ratio:.2f} "
+            f"violated-dependencies={toy.violations}"
+        )
+        lines.append(toy.gantt)
+        lines.append("")
+    return "\n".join(lines)

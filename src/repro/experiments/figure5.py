@@ -1,0 +1,87 @@
+"""Figure 5: normalized training throughput, four systems × seven spaces.
+
+Also covers the §5.1 headline numbers (NASPipe vs GPipe 1.1×-7.8×, vs
+PipeDream 0.87×-6.5×, vs VPipe 0.77×-1.5×) and the artifact's throughput
+ordering check T(NLP.c0) > T(NLP.c1) > T(NLP.c2) > T(NLP.c3) — larger
+spaces mean fewer causal dependencies, hence more parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines import ALL_SYSTEMS
+from repro.experiments.common import ExperimentScale, run_system
+from repro.metrics.throughput import normalize_throughput, subnets_per_hour
+from repro.supernet.search_space import list_search_spaces
+
+__all__ = ["ThroughputCell", "run", "format_text"]
+
+
+@dataclass
+class ThroughputCell:
+    space: str
+    system: str
+    throughput: Optional[float]  # samples/sec; None = OOM
+    batch: Optional[int]
+    bubble: Optional[float]
+    subnets_per_hour: Optional[float]
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    spaces: Optional[List[str]] = None,
+    systems: Optional[List[str]] = None,
+) -> List[ThroughputCell]:
+    scale = scale or ExperimentScale.small()
+    cells: List[ThroughputCell] = []
+    for space in spaces or list_search_spaces():
+        for system in systems or ALL_SYSTEMS:
+            result = run_system(space, system, scale)
+            if result is None:
+                cells.append(ThroughputCell(space, system, None, None, None, None))
+            else:
+                cells.append(
+                    ThroughputCell(
+                        space,
+                        system,
+                        result.throughput_samples_per_sec,
+                        result.batch,
+                        result.bubble_ratio,
+                        subnets_per_hour(
+                            result.subnets_completed, result.makespan_ms
+                        ),
+                    )
+                )
+    return cells
+
+
+def by_space(cells: List[ThroughputCell]) -> Dict[str, Dict[str, Optional[float]]]:
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for cell in cells:
+        table.setdefault(cell.space, {})[cell.system] = cell.throughput
+    return table
+
+
+def format_text(cells: List[ThroughputCell]) -> str:
+    lines = [
+        "Figure 5 — normalized throughput (NASPipe = 1.0; 'OOM' = failed "
+        "to fit, as GPipe/PipeDream on NLP.c0 in the paper)",
+        "",
+        f"{'space':>7s} " + "".join(f"{s:>12s}" for s in ALL_SYSTEMS)
+        + f"{'NASPipe subnets/h':>20s}",
+    ]
+    table = by_space(cells)
+    per_hour = {
+        (c.space, c.system): c.subnets_per_hour for c in cells
+    }
+    for space, row in table.items():
+        normalized = normalize_throughput(row, "NASPipe")
+        rendered = "".join(
+            f"{normalized[s]:>12.2f}" if normalized.get(s) is not None else f"{'OOM':>12s}"
+            for s in ALL_SYSTEMS
+        )
+        nph = per_hour.get((space, "NASPipe"))
+        lines.append(f"{space:>7s} {rendered}{nph:>20.0f}")
+    return "\n".join(lines)

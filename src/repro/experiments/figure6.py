@@ -1,0 +1,70 @@
+"""Figure 6: ablation study — NASPipe vs NASPipe w/o scheduler /
+predictor / mirroring, normalized throughput across spaces (§5.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines import ABLATIONS
+from repro.experiments.common import ExperimentScale, run_system
+from repro.metrics.throughput import normalize_throughput, subnets_per_hour
+from repro.supernet.search_space import list_search_spaces
+
+__all__ = ["AblationCell", "run", "format_text"]
+
+
+@dataclass
+class AblationCell:
+    space: str
+    system: str
+    throughput: Optional[float]
+    bubble: Optional[float]
+    batch: Optional[int]
+    subnets_per_hour: Optional[float]
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    spaces: Optional[List[str]] = None,
+) -> List[AblationCell]:
+    scale = scale or ExperimentScale.small()
+    cells: List[AblationCell] = []
+    for space in spaces or list_search_spaces():
+        for system in ABLATIONS:
+            result = run_system(space, system, scale)
+            if result is None:
+                cells.append(AblationCell(space, system, None, None, None, None))
+            else:
+                cells.append(
+                    AblationCell(
+                        space,
+                        system,
+                        result.throughput_samples_per_sec,
+                        result.bubble_ratio,
+                        result.batch,
+                        subnets_per_hour(
+                            result.subnets_completed, result.makespan_ms
+                        ),
+                    )
+                )
+    return cells
+
+
+def format_text(cells: List[AblationCell]) -> str:
+    lines = [
+        "Figure 6 — ablations (normalized throughput, NASPipe = 1.0)",
+        "",
+        f"{'space':>7s} " + "".join(f"{s.replace('NASPipe ', ''):>16s}" for s in ABLATIONS),
+    ]
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for cell in cells:
+        table.setdefault(cell.space, {})[cell.system] = cell.throughput
+    for space, row in table.items():
+        normalized = normalize_throughput(row, "NASPipe")
+        rendered = "".join(
+            f"{normalized[s]:>16.2f}" if normalized.get(s) is not None else f"{'OOM':>16s}"
+            for s in ABLATIONS
+        )
+        lines.append(f"{space:>7s} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure 7: scalability — total GPU ALU utilisation from 4 to 16 GPUs
+on NLP.c1 (the largest space all four systems support)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines import ALL_SYSTEMS
+from repro.experiments.common import ExperimentScale, run_system
+
+__all__ = ["ScalabilityPoint", "run", "format_text"]
+
+_SPACE = "NLP.c1"
+_DEFAULT_GPU_COUNTS = (4, 8, 12, 16)
+
+
+@dataclass
+class ScalabilityPoint:
+    system: str
+    num_gpus: int
+    total_alu: Optional[float]
+    bubble: Optional[float]
+    throughput: Optional[float]
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    gpu_counts: Sequence[int] = _DEFAULT_GPU_COUNTS,
+    systems: Optional[List[str]] = None,
+) -> List[ScalabilityPoint]:
+    scale = scale or ExperimentScale.small()
+    points: List[ScalabilityPoint] = []
+    for system in systems or ALL_SYSTEMS:
+        for gpus in gpu_counts:
+            result = run_system(_SPACE, system, scale, num_gpus=gpus)
+            if result is None:
+                points.append(ScalabilityPoint(system, gpus, None, None, None))
+            else:
+                points.append(
+                    ScalabilityPoint(
+                        system,
+                        gpus,
+                        result.total_alu,
+                        result.bubble_ratio,
+                        result.throughput_samples_per_sec,
+                    )
+                )
+    return points
+
+
+def format_text(points: List[ScalabilityPoint]) -> str:
+    gpu_counts = sorted({p.num_gpus for p in points})
+    lines = [
+        f"Figure 7 — total GPU ALU utilisation on {_SPACE} vs cluster size",
+        "",
+        f"{'system':>10s} " + "".join(f"{g:>8d}" for g in gpu_counts),
+    ]
+    systems = []
+    for point in points:
+        if point.system not in systems:
+            systems.append(point.system)
+    for system in systems:
+        row = {p.num_gpus: p.total_alu for p in points if p.system == system}
+        rendered = "".join(
+            f"{row[g]:>7.1f}x" if row.get(g) is not None else f"{'OOM':>8s}"
+            for g in gpu_counts
+        )
+        lines.append(f"{system:>10s} {rendered}")
+    return "\n".join(lines)

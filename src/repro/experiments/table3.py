@@ -1,0 +1,99 @@
+"""Table 3: reproducibility — supernet loss and search accuracy across
+cluster sizes for CSP, BSP and ASP.
+
+For each search space we train the same seeded subnet stream with the
+same hyperparameters on 4, 8 and 16 simulated GPUs under each
+synchronisation pattern, then run the (deterministic) evolutionary search
+on the resulting supernet.  CSP produces identical losses, identical
+searched architectures and identical scores on every cluster size; BSP
+and ASP do not.
+
+Functional training on the full Table 1 spaces is feasible but slow in
+numpy, so the default uses block/width-scaled variants of each space —
+the synchronisation semantics, which are what reproducibility depends
+on, are unaffected by the scaling (the test suite covers both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines import gpipe, naspipe, pipedream
+from repro.config import SystemConfig
+from repro.metrics.reproducibility import ReproducibilityReport
+from repro.nas.trainer import SupernetTrainer
+from repro.supernet.search_space import get_search_space, list_search_spaces
+
+__all__ = ["run", "format_text", "SYNC_SYSTEMS"]
+
+SYNC_SYSTEMS: List[Tuple[str, SystemConfig]] = [
+    ("CSP", naspipe()),
+    ("BSP", gpipe()),
+    ("ASP", pipedream()),
+]
+
+_GPU_COUNTS = (4, 8, 16)
+
+
+@dataclass
+class Table3Scale:
+    steps: int = 48
+    num_blocks: int = 16
+    functional_width: int = 16
+    search_evaluations: int = 16
+    population: int = 8
+
+
+def _scaled_space(name: str, scale: Table3Scale):
+    return get_search_space(name).scaled(
+        num_blocks=scale.num_blocks,
+        functional_width=scale.functional_width,
+    )
+
+
+def run(
+    spaces: Optional[List[str]] = None,
+    scale: Optional[Table3Scale] = None,
+    seed: int = 2022,
+) -> Dict[str, ReproducibilityReport]:
+    scale = scale or Table3Scale()
+    reports: Dict[str, ReproducibilityReport] = {}
+    for space_name in spaces or [s for s in list_search_spaces() if s != "NLP.c0"]:
+        report = ReproducibilityReport(space=space_name)
+        space = _scaled_space(space_name, scale)
+        for sync_name, config in SYNC_SYSTEMS:
+            for gpus in _GPU_COUNTS:
+                trainer = SupernetTrainer(space, seed=seed, num_gpus=gpus)
+                # Timing batch fixed across cluster sizes, matching the
+                # paper's "same batch size and hyperparameters" protocol.
+                training = trainer.train(config, steps=scale.steps, batch=32)
+                outcome = trainer.search(
+                    training,
+                    evaluations=scale.search_evaluations,
+                    population_size=scale.population,
+                )
+                assert training.digest is not None
+                report.record(
+                    system=sync_name,
+                    gpus=gpus,
+                    loss=training.mean_tail_loss() or float("nan"),
+                    score=outcome.best_score,
+                    digest=training.digest,
+                )
+        reports[space_name] = report
+    return reports
+
+
+def format_text(reports: Dict[str, ReproducibilityReport]) -> str:
+    lines = [
+        "Table 3 — reproducibility across cluster sizes "
+        "(supernet loss | search accuracy at 4/8/16 GPUs)",
+        "",
+    ]
+    for space, report in reports.items():
+        lines.append(space)
+        for sync_name, _config in SYNC_SYSTEMS:
+            lines.append("  " + report.row(sync_name))
+        lines.append("")
+    return "\n".join(lines)

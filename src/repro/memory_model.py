@@ -1,0 +1,187 @@
+"""GPU memory feasibility: what batch size each system can train.
+
+The paper's Table 2 batch-size gaps (NASPipe 192 vs GPipe 32 vs PipeDream
+16 on NLP.c1) and the NLP.c0 out-of-memory failures of GPipe/PipeDream
+all derive from one constraint: parameters + activations must fit the
+11 GB GPU.  This module prices both sides:
+
+* **parameter residency** — full-context systems pin their whole supernet
+  partition (plus gradient/optimizer buffers); cached systems pin only a
+  small multiple of one subnet's stage share;
+* **activation footprint** — a per-sample *stash* for every in-flight
+  subnet (checkpoint boundaries when recomputing, all intermediates when
+  not) plus a per-sample *working set* for the task being computed.
+
+Constants are calibrated against the paper's testbed (see
+EXPERIMENTS.md); they are deliberately coarse — the reproduction targets
+the ordering and growth trends, not exact sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.supernet import Supernet
+
+__all__ = [
+    "MemoryBreakdown",
+    "resident_param_bytes_per_stage",
+    "activation_bytes_per_sample",
+    "max_feasible_batch",
+]
+
+_MB = 1_000_000
+
+#: Per-sample activation stash per stage when recomputing (boundary +
+#: checkpoint segments) and the transient working set during a task.
+_STASH_BYTES = {"NLP": 4 * _MB, "CV": 12 * _MB}
+_WORKING_BYTES = {"NLP": 7 * _MB, "CV": 20 * _MB}
+#: Per-layer intermediate kept when NOT recomputing (PipeDream).
+_NO_RECOMPUTE_LAYER_BYTES = {"NLP": int(2.5 * _MB), "CV": 6 * _MB}
+#: Gradient + optimizer buffers as a multiple of resident parameters.
+_PARAM_OVERHEAD_FACTOR = 1.25
+#: ASP (PipeDream) additionally keeps stashed weight versions for
+#: in-flight minibatches; its effective parameter overhead is higher.
+_ASP_PARAM_OVERHEAD_FACTOR = 1.26
+#: Batch sizes are searched over multiples of this granularity.
+_BATCH_GRANULARITY = 4
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory budget decomposition at a given batch size."""
+
+    usable_bytes: int
+    param_bytes: int
+    stash_bytes: int
+    working_bytes: int
+
+    @property
+    def total(self) -> int:
+        return self.param_bytes + self.stash_bytes + self.working_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.total <= self.usable_bytes
+
+
+def resident_param_bytes_per_stage(
+    supernet: Supernet, config: SystemConfig, stages: int
+) -> int:
+    """Pinned parameter bytes (incl. grad/optimizer buffers) per GPU."""
+    if config.context == "full":
+        base = supernet.total_param_bytes() / stages
+    else:
+        subnet_share = supernet.expected_subnet_param_count() * 4 / stages
+        base = config.cache_subnets * subnet_share
+    factor = (
+        _ASP_PARAM_OVERHEAD_FACTOR if config.sync == "asp" else _PARAM_OVERHEAD_FACTOR
+    )
+    return int(base * factor)
+
+
+def _layers_per_stage(supernet: Supernet, stages: int) -> float:
+    return supernet.space.num_blocks / stages
+
+
+def activation_bytes_per_sample(
+    supernet: Supernet, config: SystemConfig, stages: int
+) -> int:
+    """Stash (× in-flight window) + working set, per sample, per GPU."""
+    domain = supernet.space.domain
+    if config.recompute:
+        stash = _STASH_BYTES[domain]
+    else:
+        stash = int(
+            _layers_per_stage(supernet, stages) * _NO_RECOMPUTE_LAYER_BYTES[domain]
+        )
+    window = _stash_window(config, stages)
+    return window * stash + _WORKING_BYTES[domain]
+
+
+def _stash_window(config: SystemConfig, stages: int) -> int:
+    """How many in-flight subnets stash activations per stage.
+
+    ASP (1F1B) keeps up to pipeline-depth stashes alive at stage 0 — and
+    the worst stage governs the memory budget.  Synchronous policies
+    stash their full window.
+    """
+    if config.sync == "asp":
+        return stages
+    return config.default_window(stages)
+
+
+def memory_breakdown(
+    supernet: Supernet,
+    config: SystemConfig,
+    cluster: ClusterSpec,
+    batch: int,
+) -> MemoryBreakdown:
+    stages = cluster.num_gpus
+    params = resident_param_bytes_per_stage(supernet, config, stages)
+    domain = supernet.space.domain
+    if config.recompute:
+        stash_unit = _STASH_BYTES[domain]
+    else:
+        stash_unit = int(
+            _layers_per_stage(supernet, stages) * _NO_RECOMPUTE_LAYER_BYTES[domain]
+        )
+    stash = _stash_window(config, stages) * stash_unit * batch
+    working = _WORKING_BYTES[domain] * batch
+    return MemoryBreakdown(
+        usable_bytes=cluster.gpu_memory_bytes - cluster.reserved_bytes,
+        param_bytes=params,
+        stash_bytes=stash,
+        working_bytes=working,
+    )
+
+
+def cpu_pinned_bytes_per_stage(
+    supernet: Supernet, config: SystemConfig, stages: int
+) -> int:
+    """Pinned host memory a stage needs for its supernet partition.
+
+    Swapped-context systems keep the whole supernet in pinned CPU memory,
+    partitioned by choice-block hierarchy across stages (§4.2); the
+    paper's artifact demands 100 GB of host RAM for exactly this reason.
+    Full-context systems pin nothing (weights live on the GPU).
+    """
+    if config.context == "full":
+        return 0
+    return int(supernet.total_param_bytes() / stages)
+
+
+def cpu_memory_feasible(
+    supernet: Supernet,
+    config: SystemConfig,
+    cluster: ClusterSpec,
+    host_memory_bytes: int = 64 * 1_000_000_000,
+) -> bool:
+    """Whether each host's RAM holds its stages' pinned partitions.
+
+    The testbed had 64 GB per host, 4 GPUs each; NLP.c0's 80 GB supernet
+    fits only because it spreads over the stages' hosts.
+    """
+    per_stage = cpu_pinned_bytes_per_stage(supernet, config, cluster.num_gpus)
+    stages_per_host = min(cluster.gpus_per_host, cluster.num_gpus)
+    return per_stage * stages_per_host <= host_memory_bytes
+
+
+def max_feasible_batch(
+    supernet: Supernet, config: SystemConfig, cluster: ClusterSpec
+) -> Optional[int]:
+    """Largest supported batch (multiple of 4, capped by the space's
+    ``max_batch``), or None when even the minimum batch overflows — the
+    system OOMs on this search space (GPipe/PipeDream on NLP.c0)."""
+    best: Optional[int] = None
+    batch = _BATCH_GRANULARITY
+    while batch <= supernet.space.max_batch:
+        if memory_breakdown(supernet, config, cluster, batch).fits:
+            best = batch
+        else:
+            break
+        batch += _BATCH_GRANULARITY
+    return best

@@ -1,0 +1,41 @@
+"""Throughput normalisation helpers (Figure 5's presentation)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["normalize_throughput", "speedup_table", "subnets_per_hour"]
+
+
+def normalize_throughput(
+    throughputs: Mapping[str, Optional[float]], reference: str
+) -> Dict[str, Optional[float]]:
+    """Scale throughputs so ``reference`` is 1.0 (None marks OOM)."""
+    base = throughputs.get(reference)
+    if not base:
+        raise ValueError(f"reference system {reference!r} missing or zero")
+    return {
+        name: (value / base if value is not None else None)
+        for name, value in throughputs.items()
+    }
+
+
+def speedup_table(
+    rows: Sequence[Tuple[str, Mapping[str, Optional[float]]]],
+    target: str,
+    baseline: str,
+) -> List[Tuple[str, Optional[float]]]:
+    """Per-space speedup of ``target`` over ``baseline`` (None on OOM)."""
+    table: List[Tuple[str, Optional[float]]] = []
+    for space, throughputs in rows:
+        t = throughputs.get(target)
+        b = throughputs.get(baseline)
+        table.append((space, (t / b) if t and b else None))
+    return table
+
+
+def subnets_per_hour(subnets_completed: int, makespan_ms: float) -> float:
+    """The red-bar annotation of Figures 5/6."""
+    if makespan_ms <= 0:
+        return 0.0
+    return subnets_completed / (makespan_ms / 3_600_000.0)

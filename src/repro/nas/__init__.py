@@ -1,0 +1,23 @@
+"""The NAS layer: exploration algorithms, search, and the high-level
+trainer API that ties supernet training and architecture search together
+(the role Retiarii plays in front of NASPipe in the paper)."""
+
+from repro.nas.evaluator import SubnetEvaluator, proxy_bleu, top_k_accuracy
+from repro.nas.evolution import EvolutionSearch, SearchOutcome
+from repro.nas.random_search import RandomSearch
+from repro.nas.trainer import SupernetTrainer, TrainingRun
+from repro.nas.hybrid import HybridSupernet, hybrid_space, hybrid_stream
+
+__all__ = [
+    "SubnetEvaluator",
+    "proxy_bleu",
+    "top_k_accuracy",
+    "EvolutionSearch",
+    "SearchOutcome",
+    "RandomSearch",
+    "SupernetTrainer",
+    "TrainingRun",
+    "HybridSupernet",
+    "hybrid_space",
+    "hybrid_stream",
+]

@@ -1,0 +1,134 @@
+"""Post-training supernet analysis (the paper's §2.1 motivation).
+
+"In NAS studies, analysis (debugging) of supernet training procedures
+plays an important role" — and reproducible runs make the collected
+information deterministic.  This module turns the parameter store's
+access log into the quantities those analyses use:
+
+* per-layer **update counts** — how often each candidate trained (the
+  sampling-fairness signal FairNAS optimises);
+* **co-activation** statistics — which candidate pairs trained together;
+* a **training report** aggregating both with block-level coverage,
+  stable across re-runs by Definition 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.nn.parameter_store import AccessKind, LayerId, ParameterStore
+
+__all__ = [
+    "update_counts",
+    "read_counts",
+    "block_coverage",
+    "co_activation",
+    "TrainingReport",
+    "training_report",
+]
+
+
+def update_counts(store: ParameterStore) -> Dict[LayerId, int]:
+    """WRITEs per layer — how many training steps each candidate got."""
+    counts: Counter = Counter()
+    for record in store.access_log:
+        if record.kind is AccessKind.WRITE:
+            counts[record.layer] += 1
+    return dict(counts)
+
+
+def read_counts(store: ParameterStore) -> Dict[LayerId, int]:
+    """READs per layer (forward activations)."""
+    counts: Counter = Counter()
+    for record in store.access_log:
+        if record.kind is AccessKind.READ:
+            counts[record.layer] += 1
+    return dict(counts)
+
+
+def block_coverage(store: ParameterStore, num_blocks: int) -> List[int]:
+    """Distinct candidates trained at least once, per choice block."""
+    seen: Dict[int, set] = {block: set() for block in range(num_blocks)}
+    for record in store.access_log:
+        if record.kind is AccessKind.WRITE:
+            block, choice = record.layer
+            if block in seen:
+                seen[block].add(choice)
+    return [len(seen[block]) for block in range(num_blocks)]
+
+
+def co_activation(
+    store: ParameterStore, block_a: int, block_b: int
+) -> Dict[Tuple[int, int], int]:
+    """How often candidate pairs (choice@a, choice@b) trained together.
+
+    Derived from WRITE records grouped by subnet — each subnet writes one
+    candidate per block, so its write set reconstructs its architecture.
+    """
+    per_subnet: Dict[int, Dict[int, int]] = {}
+    for record in store.access_log:
+        if record.kind is not AccessKind.WRITE:
+            continue
+        block, choice = record.layer
+        per_subnet.setdefault(record.subnet_id, {})[block] = choice
+    pairs: Counter = Counter()
+    for choices in per_subnet.values():
+        if block_a in choices and block_b in choices:
+            pairs[(choices[block_a], choices[block_b])] += 1
+    return dict(pairs)
+
+
+@dataclass
+class TrainingReport:
+    """Aggregate view of one training run's layer usage."""
+
+    subnets_trained: int
+    distinct_layers_trained: int
+    total_updates: int
+    min_updates: int
+    max_updates: int
+    #: max/min update count among trained layers (1.0 = perfectly fair)
+    fairness_ratio: float
+    block_coverage: List[int]
+
+    def summary(self) -> str:
+        return (
+            f"{self.subnets_trained} subnets trained "
+            f"{self.distinct_layers_trained} distinct layers "
+            f"({self.total_updates} updates; per-layer min/max "
+            f"{self.min_updates}/{self.max_updates}, fairness "
+            f"{self.fairness_ratio:.2f})"
+        )
+
+
+def training_report(
+    store: ParameterStore, num_blocks: Optional[int] = None
+) -> TrainingReport:
+    """Build a :class:`TrainingReport` from the access log."""
+    updates = update_counts(store)
+    subnets = {
+        record.subnet_id
+        for record in store.access_log
+        if record.kind is AccessKind.WRITE
+    }
+    if updates:
+        min_updates = min(updates.values())
+        max_updates = max(updates.values())
+        fairness = max_updates / min_updates if min_updates else float("inf")
+    else:
+        min_updates = max_updates = 0
+        fairness = 1.0
+    blocks = num_blocks
+    if blocks is None:
+        blocks = 1 + max((layer[0] for layer in updates), default=-1)
+    return TrainingReport(
+        subnets_trained=len(subnets),
+        distinct_layers_trained=len(updates),
+        total_updates=sum(updates.values()),
+        min_updates=min_updates,
+        max_updates=max_updates,
+        fairness_ratio=fairness,
+        block_coverage=block_coverage(store, blocks),
+    )

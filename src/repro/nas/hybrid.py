@@ -1,0 +1,109 @@
+"""Hybrid multi-search-space traversal (paper §5.5, "future applications").
+
+The paper envisions NASPipe traversing several search spaces
+simultaneously, since the runtime "is flexible to hold any number of
+causal dependency relations".  We realise it for spaces with equal block
+counts (e.g. NLP.c1/c2/c3 all have 48 blocks) by *namespacing* choices:
+the hybrid space's per-block candidate list is the concatenation of the
+member spaces' candidates, and a member subnet's choice ``c`` in space
+``s`` becomes global choice ``offset_s + c``.
+
+Layer identity is preserved (a layer shared by two subnets of the same
+member space stays shared; layers of different member spaces never
+collide), so the CSP scheduler enforces exactly the dependencies that
+exist — and subnets of *different* spaces are mutually independent,
+which is precisely why hybrid traversal pipelines so well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import SearchSpaceError
+from repro.nn.parameter_store import LayerId
+from repro.seeding import SeedSequenceTree
+from repro.supernet.sampler import SposSampler, SubnetStream
+from repro.supernet.search_space import SearchSpace
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import LayerProfile, Supernet
+
+__all__ = ["hybrid_space", "HybridSupernet", "hybrid_stream"]
+
+
+def hybrid_space(members: Sequence[SearchSpace]) -> SearchSpace:
+    """The union space over ``members`` (equal block counts required)."""
+    if not members:
+        raise SearchSpaceError("hybrid space needs at least one member")
+    blocks = members[0].num_blocks
+    domain = members[0].domain
+    for member in members[1:]:
+        if member.num_blocks != blocks:
+            raise SearchSpaceError(
+                f"hybrid members must share block count: "
+                f"{members[0].name}={blocks}, {member.name}={member.num_blocks}"
+            )
+        if member.domain != domain:
+            raise SearchSpaceError("hybrid members must share a domain")
+    return members[0].scaled(
+        name="+".join(member.name for member in members),
+        choices_per_block=sum(member.choices_per_block for member in members),
+    )
+
+
+class HybridSupernet(Supernet):
+    """A supernet whose candidates delegate to the member supernets."""
+
+    def __init__(self, members: Sequence[SearchSpace]) -> None:
+        self.members = [Supernet(member) for member in members]
+        self.offsets: List[int] = []
+        offset = 0
+        for member in members:
+            self.offsets.append(offset)
+            offset += member.choices_per_block
+        super().__init__(hybrid_space(members))
+
+    def _member_for_choice(self, choice: int) -> Tuple[Supernet, int]:
+        for index in reversed(range(len(self.members))):
+            if choice >= self.offsets[index]:
+                return self.members[index], choice - self.offsets[index]
+        raise IndexError(f"choice {choice} out of range")
+
+    def profile(self, layer: LayerId) -> LayerProfile:
+        block, choice = layer
+        member, local_choice = self._member_for_choice(choice)
+        # Delegate to the member's profile but keep the *global* identity,
+        # so dependency analysis and the parameter store see one namespace.
+        local = member.profile((block, local_choice))
+        cached = self._profiles.get(layer)
+        if cached is not None:
+            return cached
+        profile = LayerProfile(
+            layer=layer,
+            type_profile=local.type_profile,
+            size_scale=local.size_scale,
+        )
+        self._profiles[layer] = profile
+        return profile
+
+
+def hybrid_stream(
+    members: Sequence[SearchSpace],
+    seeds: SeedSequenceTree,
+    count_per_member: int,
+) -> SubnetStream:
+    """Round-robin interleave of member-space SPOS streams, re-encoded
+    into the hybrid namespace with dense sequence IDs."""
+    supernet = HybridSupernet(members)
+    samplers = [SposSampler(member, seeds) for member in members]
+    merged: List[Subnet] = []
+    for round_index in range(count_per_member):
+        for member_index, sampler in enumerate(samplers):
+            local = sampler.sample()
+            offset = supernet.offsets[member_index]
+            merged.append(
+                Subnet(
+                    len(merged),
+                    tuple(choice + offset for choice in local.choices),
+                )
+            )
+    return SubnetStream(merged)

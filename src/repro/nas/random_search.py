@@ -1,0 +1,43 @@
+"""Random search baseline: score uniformly sampled candidates."""
+
+from __future__ import annotations
+
+from repro.nas.evaluator import SubnetEvaluator
+from repro.nas.evolution import SearchOutcome
+from repro.seeding import SeedSequenceTree
+from repro.supernet.search_space import SearchSpace
+from repro.supernet.subnet import Subnet
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Uniform random candidate scoring with the same budget interface as
+    :class:`~repro.nas.evolution.EvolutionSearch`."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: SubnetEvaluator,
+        seeds: SeedSequenceTree,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self._rng = seeds.fresh_generator(f"search/random/{space.name}")
+
+    def run(self, evaluations: int = 40) -> SearchOutcome:
+        best = None
+        history = []
+        for index in range(evaluations):
+            choices = tuple(
+                int(c)
+                for c in self._rng.integers(
+                    0, self.space.choices_per_block, size=self.space.num_blocks
+                )
+            )
+            candidate = self.evaluator.score(Subnet(index, choices))
+            if best is None or candidate.score > best.score:
+                best = candidate
+            history.append(best.score)
+        assert best is not None
+        return SearchOutcome(best=best, evaluated=evaluations, history=history)

@@ -1,0 +1,89 @@
+"""Primitive differentiable ops shared by the candidate-layer zoo.
+
+Each op comes as a ``*_forward`` returning ``(output, cache)`` and a
+``*_backward`` taking the upstream gradient and the cache.  Everything is
+float32 in and float32 out; the helpers never upcast, because float64
+intermediates would mask the very reordering effects (non-commutative
+float32 addition) the reproducibility experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "f32",
+    "affine_forward",
+    "affine_backward",
+    "tanh_forward",
+    "tanh_backward",
+    "relu_forward",
+    "relu_backward",
+    "sigmoid",
+    "softmax_rows",
+    "softmax_rows_backward",
+]
+
+
+def f32(array: np.ndarray) -> np.ndarray:
+    """Cast to float32 without copying when already float32."""
+    return np.asarray(array, dtype=np.float32)
+
+
+def affine_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
+    """``y = x @ W + b`` with cache for the backward pass."""
+    y = f32(x @ weight + bias)
+    return y, (x, weight)
+
+
+def affine_backward(
+    dy: np.ndarray, cache: Tuple[np.ndarray, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(dx, dW, db)`` for :func:`affine_forward`."""
+    x, weight = cache
+    dx = f32(dy @ weight.T)
+    dw = f32(x.T @ dy)
+    db = f32(dy.sum(axis=0))
+    return dx, dw, db
+
+
+def tanh_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y = np.tanh(x, dtype=np.float32)
+    return y, y
+
+
+def tanh_backward(dy: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return f32(dy * (1.0 - y * y))
+
+
+def relu_forward(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y = np.maximum(x, np.float32(0.0))
+    return y, x
+
+
+def relu_backward(dy: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return f32(dy * (x > 0))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite; the bound is far outside any useful
+    # activation range so it does not distort training.
+    clipped = np.clip(x, -30.0, 30.0)
+    return f32(1.0 / (1.0 + np.exp(-clipped, dtype=np.float32)))
+
+
+def softmax_rows(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted, dtype=np.float32)
+    return f32(exps / exps.sum(axis=-1, keepdims=True))
+
+
+def softmax_rows_backward(dy: np.ndarray, softmax_out: np.ndarray) -> np.ndarray:
+    """Backward through :func:`softmax_rows` given its output."""
+    dot = (dy * softmax_out).sum(axis=-1, keepdims=True)
+    return f32(softmax_out * (dy - dot))

@@ -1,0 +1,112 @@
+"""Stateless and stateful SGD update rules.
+
+The optimizer is applied at WRITE time — when a subnet's backward pass
+commits a layer update through the :class:`~repro.nn.parameter_store.
+ParameterStore`.  Keeping the update rule a pure function of
+``(params, grads, state)`` makes the functional plane's interleaving
+semantics explicit: whoever applies updates in a different order gets
+different float32 bits, which is exactly what the reproducibility
+experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.parameter_store import LayerId
+
+__all__ = ["SGD", "MomentumSGD", "clip_gradients"]
+
+Params = Mapping[str, np.ndarray]
+
+
+def clip_gradients(
+    grads: Params, max_norm: float
+) -> Dict[str, np.ndarray]:
+    """Scale a layer's gradients so their global L2 norm ≤ ``max_norm``.
+
+    The clip factor is computed in float32 so clipping is itself
+    deterministic and reorder-insensitive per layer.
+    """
+    total = np.float32(0.0)
+    for array in grads.values():
+        total += np.float32(np.sum(array.astype(np.float32) ** 2))
+    norm = np.sqrt(total, dtype=np.float32)
+    if norm <= max_norm:
+        return {name: F.f32(array) for name, array in grads.items()}
+    scale = np.float32(max_norm) / norm
+    return {name: F.f32(array * scale) for name, array in grads.items()}
+
+
+class SGD:
+    """Plain stochastic gradient descent: ``w -= lr * g``.
+
+    ``max_grad_norm`` enables per-layer gradient clipping — cheap
+    insurance against the loss spikes deep residual chains can produce
+    at brisk learning rates.
+    """
+
+    def __init__(
+        self, learning_rate: float = 0.05, max_grad_norm: float = None
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {learning_rate}")
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive when set")
+        self.learning_rate = np.float32(learning_rate)
+        self.max_grad_norm = max_grad_norm
+
+    def apply(
+        self, layer: LayerId, params: Params, grads: Params
+    ) -> Dict[str, np.ndarray]:
+        """Return updated parameter arrays (inputs are not mutated)."""
+        if self.max_grad_norm is not None:
+            grads = clip_gradients(grads, self.max_grad_norm)
+        return {
+            name: F.f32(params[name] - self.learning_rate * grads[name])
+            for name in params
+        }
+
+
+class MomentumSGD:
+    """SGD with classical momentum, velocity keyed by (layer, param name).
+
+    Velocity state lives in the optimizer, mirroring how PyTorch keeps
+    optimizer state out of the module parameters.  State is keyed by layer
+    identity, so the same optimizer instance serves every subnet that
+    shares a layer — shared state is itself part of the causal dependency.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        max_grad_norm: float = None,
+    ) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError("max_grad_norm must be positive when set")
+        self.learning_rate = np.float32(learning_rate)
+        self.momentum = np.float32(momentum)
+        self.max_grad_norm = max_grad_norm
+        self._velocity: Dict[Tuple[LayerId, str], np.ndarray] = {}
+
+    def apply(
+        self, layer: LayerId, params: Params, grads: Params
+    ) -> Dict[str, np.ndarray]:
+        if self.max_grad_norm is not None:
+            grads = clip_gradients(grads, self.max_grad_norm)
+        updated = {}
+        for name in params:
+            key = (layer, name)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(params[name])
+            velocity = F.f32(self.momentum * velocity + grads[name])
+            self._velocity[key] = velocity
+            updated[name] = F.f32(params[name] - self.learning_rate * velocity)
+        return updated

@@ -1,0 +1,233 @@
+"""Versioned, access-logged storage for supernet parameters.
+
+The store is the single source of truth for every candidate layer's
+weights.  All reads and writes go through :meth:`ParameterStore.read` and
+:meth:`ParameterStore.write`, which:
+
+* log an :class:`AccessRecord` (subnet id, READ/WRITE, virtual time) — the
+  trace behind the paper's Table 4 ("access & update order of a layer");
+* bump a per-layer version counter, letting the CSP runtime verify that a
+  read really observed the expected predecessor's write.
+
+Bitwise reproducibility (paper Definition 1) is checked with
+:meth:`ParameterStore.digest`, a SHA-256 over every float32 weight buffer in
+a canonical order.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SearchSpaceError
+
+__all__ = ["AccessKind", "AccessRecord", "ParameterStore", "LayerId"]
+
+#: A layer is identified by (choice block index, candidate index) — the
+#: paper's l_x^i notation.
+LayerId = Tuple[int, int]
+
+
+class AccessKind(enum.Enum):
+    """Whether a parameter access was a forward READ or a backward WRITE."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One logged parameter access.
+
+    ``time`` is virtual simulation time when the access was committed; it is
+    informational — ordering in the log list is the authoritative order.
+    """
+
+    layer: LayerId
+    subnet_id: int
+    kind: AccessKind
+    time: float = 0.0
+
+    def short(self) -> str:
+        """Render like the paper's Table 4 cells, e.g. ``2F`` / ``2B``."""
+        suffix = "F" if self.kind is AccessKind.READ else "B"
+        return f"{self.subnet_id}{suffix}"
+
+
+class ParameterStore:
+    """Holds every candidate layer's parameter arrays.
+
+    Parameters are created lazily by a factory callback so that only layers
+    that are ever touched get materialised (a supernet can embed tens of
+    thousands of candidates).  Creation is deterministic per layer id, so
+    lazy materialisation cannot affect reproducibility.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[LayerId], Dict[str, np.ndarray]],
+        record_accesses: bool = True,
+    ) -> None:
+        self._factory = factory
+        self._params: Dict[LayerId, Dict[str, np.ndarray]] = {}
+        self._versions: Dict[LayerId, int] = {}
+        self.record_accesses = record_accesses
+        self.access_log: List[AccessRecord] = []
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def materialize(self, layer: LayerId) -> Dict[str, np.ndarray]:
+        """Ensure ``layer``'s parameters exist and return them (no logging)."""
+        if layer not in self._params:
+            params = self._factory(layer)
+            for name, array in params.items():
+                if array.dtype != np.float32:
+                    raise SearchSpaceError(
+                        f"layer {layer} parameter {name!r} must be float32, "
+                        f"got {array.dtype}"
+                    )
+            self._params[layer] = params
+            self._versions[layer] = 0
+        return self._params[layer]
+
+    def __contains__(self, layer: LayerId) -> bool:
+        return layer in self._params
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    @property
+    def materialized_layers(self) -> List[LayerId]:
+        return sorted(self._params)
+
+    # ------------------------------------------------------------------
+    # logged access
+    # ------------------------------------------------------------------
+    def read(
+        self, layer: LayerId, subnet_id: int, time: float = 0.0
+    ) -> Dict[str, np.ndarray]:
+        """Return a *snapshot* (copy) of ``layer``'s parameters.
+
+        A copy models what a forward pass observes: later in-place updates
+        by other subnets must not leak into an already-running computation
+        (this is PyTorch's behaviour once tensors are on-GPU for a kernel).
+        """
+        params = self.materialize(layer)
+        if self.record_accesses:
+            self.access_log.append(
+                AccessRecord(layer, subnet_id, AccessKind.READ, time)
+            )
+        return {name: array.copy() for name, array in params.items()}
+
+    def write(
+        self,
+        layer: LayerId,
+        subnet_id: int,
+        new_values: Mapping[str, np.ndarray],
+        time: float = 0.0,
+    ) -> None:
+        """Replace ``layer``'s parameters (the optimizer-step WRITE)."""
+        params = self.materialize(layer)
+        if set(new_values) != set(params):
+            raise SearchSpaceError(
+                f"write to layer {layer} with mismatched parameter names: "
+                f"{sorted(new_values)} != {sorted(params)}"
+            )
+        for name, array in new_values.items():
+            params[name][...] = array.astype(np.float32, copy=False)
+        self._versions[layer] += 1
+        if self.record_accesses:
+            self.access_log.append(
+                AccessRecord(layer, subnet_id, AccessKind.WRITE, time)
+            )
+
+    def version(self, layer: LayerId) -> int:
+        """How many writes ``layer`` has received (0 if never written)."""
+        return self._versions.get(layer, 0)
+
+    # ------------------------------------------------------------------
+    # reproducibility helpers
+    # ------------------------------------------------------------------
+    def digest(self, layers: Optional[Iterable[LayerId]] = None) -> str:
+        """SHA-256 hex digest over parameters, canonical layer order.
+
+        Two training runs are bitwise reproducible (Definition 1) iff their
+        digests match.  Restricting ``layers`` lets tests compare only the
+        layers a probe stream touched.
+        """
+        hasher = hashlib.sha256()
+        selected = sorted(layers) if layers is not None else sorted(self._params)
+        for layer in selected:
+            params = self._params.get(layer)
+            if params is None:
+                continue
+            hasher.update(repr(layer).encode())
+            for name in sorted(params):
+                hasher.update(name.encode())
+                hasher.update(np.ascontiguousarray(params[name]).tobytes())
+        return hasher.hexdigest()
+
+    def access_order(self, layer: LayerId) -> List[AccessRecord]:
+        """The logged access sequence for one layer (Table 4 raw data)."""
+        return [record for record in self.access_log if record.layer == layer]
+
+    def access_order_string(self, layer: LayerId) -> str:
+        """Table-4-style rendering, e.g. ``"2F-2B-5F-5B-7F-7B"``."""
+        return "-".join(record.short() for record in self.access_order(layer))
+
+    def clear_log(self) -> None:
+        self.access_log.clear()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def save(self, path) -> int:
+        """Checkpoint all materialised parameters to an ``.npz`` file.
+
+        Returns the number of layers saved.  Keys encode layer identity
+        and parameter name (``b<block>_c<choice>/<name>``) so a checkpoint
+        is self-describing and restorable into a fresh store.
+        """
+        arrays = {}
+        for (block, choice), params in self._params.items():
+            for name, array in params.items():
+                arrays[f"b{block}_c{choice}/{name}"] = array
+        np.savez_compressed(path, **arrays)
+        return len(self._params)
+
+    def load(self, path) -> int:
+        """Restore a checkpoint produced by :meth:`save`.
+
+        Layers present in the file are materialised (factory-initialised
+        first, to validate shapes) and overwritten bitwise; versions are
+        bumped so downstream consumers see the weights changed.  Returns
+        the number of layers restored.
+        """
+        with np.load(path) as payload:
+            grouped: Dict[LayerId, Dict[str, np.ndarray]] = {}
+            for key in payload.files:
+                prefix, name = key.split("/", 1)
+                block_str, choice_str = prefix[1:].split("_c")
+                layer = (int(block_str), int(choice_str))
+                grouped.setdefault(layer, {})[name] = payload[key]
+        for layer, params in grouped.items():
+            current = self.materialize(layer)
+            if set(params) != set(current):
+                raise SearchSpaceError(
+                    f"checkpoint layer {layer} has parameters "
+                    f"{sorted(params)}, store expects {sorted(current)}"
+                )
+            for name, array in params.items():
+                if array.shape != current[name].shape:
+                    raise SearchSpaceError(
+                        f"checkpoint {layer}/{name} shape {array.shape} != "
+                        f"store shape {current[name].shape}"
+                    )
+                current[name][...] = array.astype(np.float32, copy=False)
+            self._versions[layer] += 1
+        return len(grouped)

@@ -1,0 +1,25 @@
+"""Subnet/stage partitioning strategies.
+
+NASPipe gives *every* subnet its own balanced D-partition (equal profiled
+time per stage), made possible by layer mirroring; baseline systems pin a
+static block-range partition of the supernet.  The difference is one of
+the paper's three performance levers (§5.3's "w/o mirroring" ablation).
+"""
+
+from repro.partition.balanced import (
+    Partition,
+    balanced_partition,
+    partition_cost,
+    partition_imbalance,
+)
+from repro.partition.static import static_partition_for_space
+from repro.partition.mirror import MirrorRegistry
+
+__all__ = [
+    "Partition",
+    "balanced_partition",
+    "partition_cost",
+    "partition_imbalance",
+    "static_partition_for_space",
+    "MirrorRegistry",
+]

@@ -1,0 +1,39 @@
+"""Static (per-space) block-range partitioning for baseline systems.
+
+GPipe, PipeDream and VPipe fix each choice block to one GPU for the whole
+run.  The best a static scheme can do is balance the *expected* per-block
+cost (mean over candidates); any particular subnet's chosen layers then
+deviate from expectation, leaving its stages unbalanced — the effect
+behind NASPipe's 9.6% lower per-subnet execution time (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.partition.balanced import Partition, balanced_partition
+from repro.supernet.supernet import Supernet
+
+__all__ = ["expected_block_costs", "static_partition_for_space"]
+
+
+def expected_block_costs(supernet: Supernet) -> List[float]:
+    """Mean fwd+bwd reference time of each choice block's candidates."""
+    space = supernet.space
+    costs: List[float] = []
+    for block in range(space.num_blocks):
+        total = 0.0
+        for choice in range(space.choices_per_block):
+            profile = supernet.profile((block, choice))
+            total += profile.fwd_ms_ref + profile.bwd_ms_ref
+        costs.append(total / space.choices_per_block)
+    return costs
+
+
+def static_partition_for_space(supernet: Supernet, stages: int) -> Partition:
+    """The one-time partition a static system would deploy.
+
+    Balances expected costs; optimal in expectation, unbalanced for any
+    individual subnet.
+    """
+    return balanced_partition(expected_block_costs(supernet), stages)

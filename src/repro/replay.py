@@ -1,0 +1,210 @@
+"""Deterministic training replay (paper §1, §2.1).
+
+The paper motivates reproducibility with post-training analysis: "with the
+training reproducibility, the re-runs are deterministic, including all the
+collected information, making supernet training much easier to inspect,
+analyze, and debug."  This module packages that workflow:
+
+* :class:`RunManifest` — everything needed to replay a training run
+  (space, system config, cluster, seed, stream length, and the recorded
+  outcome fingerprints), serialisable to JSON;
+* :func:`execute_manifest` — run (or re-run) a manifest;
+* :func:`verify_replay` — re-execute and assert the digest, every loss,
+  and the subnet completion order all match the recorded run.
+
+A manifest is a *claim* about a run; `verify_replay` makes the claim
+checkable by any party with the code — the artifact-evaluation story,
+in library form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.baselines import system_by_name
+from repro.config import SystemConfig
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine, PipelineResult
+from repro.errors import ReproducibilityError
+from repro.nn.optim import MomentumSGD
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import SearchSpace, get_search_space
+from repro.supernet.supernet import Supernet
+
+__all__ = ["RunManifest", "execute_manifest", "record_run", "verify_replay"]
+
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class RunManifest:
+    """A replayable description of one training run."""
+
+    version: int
+    space_name: str
+    space_overrides: Dict[str, object]
+    system_name: str
+    system_overrides: Dict[str, object]
+    num_gpus: int
+    seed: int
+    steps: int
+    batch: Optional[int]
+    stream_kind: str
+    functional_batch: int
+    learning_rate: float
+    momentum: float
+    max_grad_norm: Optional[float]
+    # recorded outcome
+    digest: Optional[str] = None
+    losses: Dict[str, float] = field(default_factory=dict)
+    completion_order: List[int] = field(default_factory=list)
+    makespan_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        payload = json.loads(text)
+        if payload.get("version") != _MANIFEST_VERSION:
+            raise ReproducibilityError(
+                f"manifest version {payload.get('version')} not supported"
+            )
+        return cls(**payload)
+
+    def save(self, path: "Path | str") -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "RunManifest":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+    def resolve_space(self) -> SearchSpace:
+        space = get_search_space(self.space_name)
+        if self.space_overrides:
+            space = space.scaled(**self.space_overrides)
+        return space
+
+    def resolve_system(self) -> SystemConfig:
+        return system_by_name(self.system_name, **self.system_overrides)
+
+
+def _build_manifest(
+    space_name: str,
+    system_name: str,
+    *,
+    space_overrides: Optional[Dict[str, object]] = None,
+    system_overrides: Optional[Dict[str, object]] = None,
+    num_gpus: int = 8,
+    seed: int = 2022,
+    steps: int = 100,
+    batch: Optional[int] = None,
+    stream_kind: str = "spos",
+    functional_batch: int = 8,
+    learning_rate: float = 0.3,
+    momentum: float = 0.9,
+    max_grad_norm: Optional[float] = 5.0,
+) -> RunManifest:
+    return RunManifest(
+        version=_MANIFEST_VERSION,
+        space_name=space_name,
+        space_overrides=dict(space_overrides or {}),
+        system_name=system_name,
+        system_overrides=dict(system_overrides or {}),
+        num_gpus=num_gpus,
+        seed=seed,
+        steps=steps,
+        batch=batch,
+        stream_kind=stream_kind,
+        functional_batch=functional_batch,
+        learning_rate=learning_rate,
+        momentum=momentum,
+        max_grad_norm=max_grad_norm,
+    )
+
+
+def execute_manifest(manifest: RunManifest) -> PipelineResult:
+    """Run the training described by ``manifest`` and return the result."""
+    space = manifest.resolve_space()
+    supernet = Supernet(space)
+    seeds = SeedSequenceTree(manifest.seed)
+    if manifest.stream_kind == "generational":
+        stream = SubnetStream.sample_generational(space, seeds, manifest.steps)
+    else:
+        stream = SubnetStream.sample(space, seeds, manifest.steps)
+    plane = FunctionalPlane(
+        supernet,
+        seeds,
+        functional_batch=manifest.functional_batch,
+        optimizer=MomentumSGD(
+            manifest.learning_rate, manifest.momentum, manifest.max_grad_norm
+        ),
+    )
+    engine = PipelineEngine(
+        supernet,
+        stream,
+        manifest.resolve_system(),
+        ClusterSpec(num_gpus=manifest.num_gpus),
+        batch=manifest.batch,
+        functional=plane,
+    )
+    return engine.run()
+
+
+def record_run(space_name: str, system_name: str, **kwargs) -> RunManifest:
+    """Execute a fresh run and return its manifest with outcomes filled."""
+    manifest = _build_manifest(space_name, system_name, **kwargs)
+    result = execute_manifest(manifest)
+    manifest.digest = result.digest
+    manifest.losses = {str(sid): loss for sid, loss in result.losses.items()}
+    manifest.completion_order = [
+        sid
+        for sid, _t in sorted(
+            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
+        )
+    ]
+    manifest.makespan_ms = result.makespan_ms
+    return manifest
+
+
+def verify_replay(manifest: RunManifest) -> PipelineResult:
+    """Re-execute ``manifest`` and check every recorded fingerprint.
+
+    Raises :class:`ReproducibilityError` on the first mismatch; returns
+    the fresh result when everything matches.
+    """
+    if manifest.digest is None:
+        raise ReproducibilityError("manifest has no recorded outcome to verify")
+    result = execute_manifest(manifest)
+    if result.digest != manifest.digest:
+        raise ReproducibilityError(
+            f"replay digest {result.digest} != recorded {manifest.digest}"
+        )
+    for sid_str, recorded_loss in manifest.losses.items():
+        fresh = result.losses.get(int(sid_str))
+        if fresh != recorded_loss:
+            raise ReproducibilityError(
+                f"replay loss for subnet {sid_str}: {fresh!r} != "
+                f"recorded {recorded_loss!r}"
+            )
+    fresh_order = [
+        sid
+        for sid, _t in sorted(
+            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
+        )
+    ]
+    if fresh_order != manifest.completion_order:
+        raise ReproducibilityError("replay completion order differs")
+    if result.makespan_ms != manifest.makespan_ms:
+        raise ReproducibilityError(
+            f"replay makespan {result.makespan_ms} != {manifest.makespan_ms}"
+        )
+    return result

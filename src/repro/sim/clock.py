@@ -1,0 +1,93 @@
+"""Event queue with a virtual clock and deterministic ordering.
+
+Events at equal times pop in scheduling order (a monotonically increasing
+sequence number breaks ties), so two runs of the same scenario interleave
+identically — a precondition for the reproducibility experiments, where
+the *simulation itself* must be deterministic before CSP vs BSP/ASP
+differences mean anything.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event; ordering is (time, priority, sequence)."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`ScheduledEvent` with a read-only clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Enqueue ``callback`` to fire at virtual ``time``.
+
+        ``priority`` orders same-time events (lower first) before the
+        scheduling-order tiebreak; the pipeline engine uses it to commit
+        task completions before starting new work at the same instant.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = ScheduledEvent(time, priority, next(self._sequence), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        return self.schedule(self._now + delay, callback, priority, label)
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Advance the clock to, and return, the next live event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,55 @@
+"""The discrete-event simulation loop.
+
+A thin, generic driver: pop events in (time, priority, sequence) order and
+fire their callbacks until the queue drains or a step/time budget trips.
+All domain logic lives in the callbacks the pipeline engine installs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Owns the event queue and runs it to quiescence."""
+
+    def __init__(self, max_events: int = 10_000_000) -> None:
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def schedule(self, time: float, callback, priority: int = 0, label: str = ""):
+        return self.queue.schedule(time, callback, priority, label)
+
+    def schedule_after(self, delay: float, callback, priority: int = 0, label: str = ""):
+        return self.queue.schedule_after(delay, callback, priority, label)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or ``until`` is reached).
+
+        Returns the final virtual time.
+        """
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                return self.now
+            if until is not None and next_time > until:
+                return self.now
+            event = self.queue.pop()
+            assert event is not None
+            event.callback()
+            self.events_processed += 1
+            if self.events_processed > self.max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({self.max_events}); "
+                    f"likely a scheduling livelock (last event {event.label!r})"
+                )

@@ -1,0 +1,149 @@
+"""Execution tracing: the raw record every evaluation metric derives from.
+
+The trace stores per-GPU busy intervals tagged with the task that caused
+them, plus cache-hit/miss and stall events from the context manager.  The
+paper's metrics map onto it directly:
+
+* **bubble ratio** — idle fraction of each GPU inside the pipeline's
+  active window (Table 2's "Bub." column);
+* **GPU ALU** — busy fraction × batch-dependent ALU efficiency, summed
+  over GPUs (Table 2's "GPU ALU", Figure 7);
+* **cache hit rate** — resident-at-execution checks (Table 2's last
+  column);
+* **throughput** — samples per second from subnet completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BusyInterval", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """One span of GPU occupancy."""
+
+    gpu_id: int
+    start: float
+    end: float
+    kind: str  # "fwd" | "bwd" | "stall"
+    subnet_id: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulates intervals and context-manager events for one run."""
+
+    num_gpus: int
+    intervals: List[BusyInterval] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stall_time_total: float = 0.0
+    subnet_completion_times: Dict[int, float] = field(default_factory=dict)
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_interval(
+        self, gpu_id: int, start: float, end: float, kind: str, subnet_id: int
+    ) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        self.intervals.append(BusyInterval(gpu_id, start, end, kind, subnet_id))
+        if kind == "stall":
+            self.stall_time_total += end - start
+        self.end_time = max(self.end_time, end)
+
+    def record_cache_access(self, hit: bool, count: int = 1) -> None:
+        if hit:
+            self.cache_hits += count
+        else:
+            self.cache_misses += count
+
+    def record_subnet_complete(self, subnet_id: int, time: float) -> None:
+        self.subnet_completion_times[subnet_id] = time
+        self.end_time = max(self.end_time, time)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return self.end_time - self.start_time
+
+    def busy_time(self, gpu_id: int, compute_only: bool = True) -> float:
+        kinds = ("fwd", "bwd") if compute_only else ("fwd", "bwd", "stall")
+        return sum(
+            interval.duration
+            for interval in self.intervals
+            if interval.gpu_id == gpu_id and interval.kind in kinds
+        )
+
+    def bubble_ratio(self) -> float:
+        """Mean idle fraction across GPUs over the active window."""
+        if self.makespan <= 0:
+            return 0.0
+        idle_fractions = []
+        for gpu_id in range(self.num_gpus):
+            busy = self.busy_time(gpu_id, compute_only=True)
+            idle_fractions.append(1.0 - min(1.0, busy / self.makespan))
+        return sum(idle_fractions) / len(idle_fractions)
+
+    def total_alu_utilization(self, alu_efficiency: float = 1.0) -> float:
+        """Sum over GPUs of (busy fraction × ALU efficiency).
+
+        Matches the paper's normalisation: "7.8×" means the summed
+        utilisation equals 7.8 fully-busy GPUs.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        total = 0.0
+        for gpu_id in range(self.num_gpus):
+            busy = self.busy_time(gpu_id, compute_only=True)
+            total += min(1.0, busy / self.makespan) * alu_efficiency
+        return total
+
+    def cache_hit_rate(self) -> Optional[float]:
+        accesses = self.cache_hits + self.cache_misses
+        if accesses == 0:
+            return None
+        return self.cache_hits / accesses
+
+    def subnets_completed(self) -> int:
+        return len(self.subnet_completion_times)
+
+    def throughput_samples_per_sec(self, batch: int) -> float:
+        """Training throughput in data samples per (virtual) second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.subnets_completed() * batch / (self.makespan / 1_000.0)
+
+    def mean_exec_ms(self) -> float:
+        """Average busy (bubble-eliminated) execution time per subnet.
+
+        Table 2's "Exec." column: total compute time across GPUs divided
+        by subnets completed and by the stage count — i.e. the per-subnet
+        critical-path time had there been no bubbles.
+        """
+        done = self.subnets_completed()
+        if done == 0:
+            return 0.0
+        compute = sum(
+            interval.duration
+            for interval in self.intervals
+            if interval.kind in ("fwd", "bwd")
+        )
+        return compute / done
+
+    def gantt_rows(self) -> List[Tuple[int, float, float, str, int]]:
+        """Plain-tuple rendering of intervals (for Figure 1 style output)."""
+        return [
+            (i.gpu_id, i.start, i.end, i.kind, i.subnet_id)
+            for i in sorted(self.intervals, key=lambda i: (i.gpu_id, i.start))
+        ]

@@ -1,0 +1,46 @@
+"""Supernet model: search spaces, choice blocks, subnets, sampling.
+
+A supernet (paper §3 preliminaries) is a sequence of ``m`` choice blocks,
+each holding ``n`` candidate layers; a subnet picks one candidate per
+block.  This package provides:
+
+* :mod:`repro.supernet.catalog` — the candidate-layer type catalog with the
+  paper's measured per-layer compute/swap profiles (Table 5);
+* :class:`SearchSpace` and the Table 1 registry (NLP.c0-c3, CV.c1-c3);
+* :class:`Supernet` — profile and parameter bookkeeping over a space;
+* :class:`Subnet` — one sampled architecture with dependency helpers;
+* :class:`SposSampler` — uniform per-block sampling (SPOS), the stream
+  producer the runtime consumes.
+"""
+
+from repro.supernet.catalog import (
+    LayerTypeProfile,
+    NLP_LAYER_TYPES,
+    CV_LAYER_TYPES,
+    catalog_for_domain,
+)
+from repro.supernet.search_space import (
+    SearchSpace,
+    SEARCH_SPACES,
+    get_search_space,
+    list_search_spaces,
+)
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import LayerProfile, Supernet
+from repro.supernet.sampler import SposSampler, SubnetStream
+
+__all__ = [
+    "LayerTypeProfile",
+    "NLP_LAYER_TYPES",
+    "CV_LAYER_TYPES",
+    "catalog_for_domain",
+    "SearchSpace",
+    "SEARCH_SPACES",
+    "get_search_space",
+    "list_search_spaces",
+    "Subnet",
+    "LayerProfile",
+    "Supernet",
+    "SposSampler",
+    "SubnetStream",
+]

@@ -1,0 +1,117 @@
+"""Custom search-space construction (Retiarii's role, library-shaped).
+
+The seven Table 1 spaces cover the paper's evaluation, but a training
+system is only useful if users can bring their own supernets.  This
+builder lets a space be declared block-by-block with explicit candidate
+profiles (measured by :mod:`repro.profiling` or hand-written), producing
+a :class:`CustomSupernet` the whole pipeline stack accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SearchSpaceError
+from repro.nn.parameter_store import LayerId
+from repro.supernet.catalog import LayerTypeProfile
+from repro.supernet.search_space import SearchSpace
+from repro.supernet.supernet import LayerProfile, Supernet
+
+__all__ = ["SearchSpaceBuilder", "CustomSupernet"]
+
+
+class CustomSupernet(Supernet):
+    """A supernet whose per-candidate profiles are explicitly supplied."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        candidate_profiles: Dict[LayerId, LayerProfile],
+    ) -> None:
+        super().__init__(space)
+        self._explicit = candidate_profiles
+
+    def profile(self, layer: LayerId) -> LayerProfile:
+        try:
+            return self._explicit[layer]
+        except KeyError:
+            raise SearchSpaceError(
+                f"custom space {self.space.name!r} has no candidate {layer}"
+            ) from None
+
+
+@dataclass
+class SearchSpaceBuilder:
+    """Incrementally declare a search space.
+
+    >>> builder = SearchSpaceBuilder("my-space", domain="NLP")
+    >>> builder.add_block([profile_a, profile_b])          # block 0
+    >>> builder.add_block([profile_a, profile_c], scales=[1.0, 0.8])
+    >>> supernet = builder.build()
+    """
+
+    name: str
+    domain: str = "NLP"
+    reference_batch: int = 64
+    max_batch: int = 64
+    batch_latency_floor: int = 96
+    functional_width: int = 32
+    num_classes: int = 32
+    _blocks: List[List[LayerProfile]] = field(default_factory=list)
+
+    def add_block(
+        self,
+        candidates: Sequence[LayerTypeProfile],
+        scales: Optional[Sequence[float]] = None,
+    ) -> "SearchSpaceBuilder":
+        """Append a choice block with the given candidate types."""
+        if not candidates:
+            raise SearchSpaceError("a choice block needs at least one candidate")
+        if scales is not None and len(scales) != len(candidates):
+            raise SearchSpaceError(
+                f"got {len(scales)} scales for {len(candidates)} candidates"
+            )
+        block_index = len(self._blocks)
+        resolved = [
+            LayerProfile(
+                layer=(block_index, choice),
+                type_profile=type_profile,
+                size_scale=(scales[choice] if scales is not None else 1.0),
+            )
+            for choice, type_profile in enumerate(candidates)
+        ]
+        self._blocks.append(resolved)
+        return self
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def build(self) -> CustomSupernet:
+        """Validate and materialise the supernet."""
+        if not self._blocks:
+            raise SearchSpaceError("search space has no choice blocks")
+        widths = {len(block) for block in self._blocks}
+        if len(widths) != 1:
+            raise SearchSpaceError(
+                f"all blocks must offer the same candidate count, got {widths}"
+            )
+        space = SearchSpace(
+            name=self.name,
+            domain=self.domain,
+            num_blocks=len(self._blocks),
+            choices_per_block=widths.pop(),
+            dataset="custom",
+            reference_batch=self.reference_batch,
+            max_batch=self.max_batch,
+            batch_latency_floor=self.batch_latency_floor,
+            functional_width=self.functional_width,
+            num_classes=self.num_classes,
+        )
+        profiles = {
+            profile.layer: profile
+            for block in self._blocks
+            for profile in block
+        }
+        return CustomSupernet(space, profiles)

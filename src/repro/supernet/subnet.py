@@ -1,0 +1,100 @@
+"""Subnet: one sampled architecture and its dependency helpers.
+
+A subnet is the paper's unit of work: an ``m``-sized list of layer choices,
+one per choice block, trained on one batch.  Two subnets are *causally
+dependent* iff they chose the same candidate in at least one block; the
+later one must then wait for the earlier one's WRITE on every shared layer
+(Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.nn.parameter_store import LayerId
+
+__all__ = ["Subnet"]
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An immutable sampled subnet.
+
+    ``subnet_id`` is the sequence ID assigned by the exploration
+    algorithm — the total order CSP must be equivalent to.
+    """
+
+    subnet_id: int
+    choices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.subnet_id < 0:
+            raise ValueError(f"subnet_id must be >= 0, got {self.subnet_id}")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.choices)
+
+    def layer_ids(self) -> List[LayerId]:
+        """The (block, choice) identity of every activated layer."""
+        return [(block, choice) for block, choice in enumerate(self.choices)]
+
+    def layer_id_set(self) -> FrozenSet[LayerId]:
+        return frozenset(self.layer_ids())
+
+    def layers_in_range(self, start: int, stop: int) -> List[LayerId]:
+        """Layers of blocks ``[start, stop)`` — one pipeline stage's slice."""
+        return [(block, self.choices[block]) for block in range(start, stop)]
+
+    def shared_layers(self, other: "Subnet") -> List[LayerId]:
+        """Layers both subnets activate (the causal-dependency set)."""
+        return [
+            (block, choice)
+            for block, (choice, other_choice) in enumerate(
+                zip(self.choices, other.choices)
+            )
+            if choice == other_choice
+        ]
+
+    def depends_on(self, earlier: "Subnet") -> bool:
+        """True iff this subnet causally depends on ``earlier``.
+
+        Only meaningful when ``earlier.subnet_id < self.subnet_id``; the
+        check itself is symmetric (layer sharing).
+        """
+        return any(a == b for a, b in zip(self.choices, earlier.choices))
+
+    def mutate(self, block: int, new_choice: int) -> "Subnet":
+        """A copy with one block's choice replaced (evolutionary search)."""
+        if not 0 <= block < len(self.choices):
+            raise IndexError(f"block {block} out of range")
+        choices = list(self.choices)
+        choices[block] = new_choice
+        return Subnet(self.subnet_id, tuple(choices))
+
+    def with_id(self, subnet_id: int) -> "Subnet":
+        """A copy re-numbered with a new sequence ID."""
+        return Subnet(subnet_id, self.choices)
+
+    # ------------------------------------------------------------------
+    # serialisation (architecture exchange format)
+    # ------------------------------------------------------------------
+    def encode(self) -> str:
+        """Compact text encoding, e.g. ``"3:1-0-2-2"`` (id:choices)."""
+        return f"{self.subnet_id}:" + "-".join(str(c) for c in self.choices)
+
+    @classmethod
+    def decode(cls, text: str) -> "Subnet":
+        """Inverse of :meth:`encode`."""
+        try:
+            id_part, choices_part = text.split(":", 1)
+            choices = tuple(int(c) for c in choices_part.split("-"))
+            return cls(int(id_part), choices)
+        except (ValueError, IndexError) as error:
+            raise ValueError(f"malformed subnet encoding {text!r}") from error
+
+    def __str__(self) -> str:
+        body = ",".join(str(c) for c in self.choices[:8])
+        suffix = ",..." if len(self.choices) > 8 else ""
+        return f"SN{self.subnet_id}[{body}{suffix}]"

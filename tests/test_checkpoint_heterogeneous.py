@@ -1,0 +1,156 @@
+"""Training checkpoints and heterogeneous-cluster reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import naspipe, pipedream
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine
+from repro.engines.sequential import SequentialEngine
+from repro.errors import ConfigError
+from repro.nn.optim import MomentumSGD
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import get_search_space
+from repro.supernet.supernet import Supernet
+
+
+@pytest.fixture
+def ckpt_space():
+    return get_search_space("NLP.c3").scaled(
+        name="ckpt", num_blocks=10, choices_per_block=4, functional_width=16
+    )
+
+
+def _plane(supernet, seed=9):
+    return FunctionalPlane(
+        supernet,
+        SeedSequenceTree(seed),
+        functional_batch=6,
+        optimizer=MomentumSGD(0.1, 0.9),
+    )
+
+
+def _train_range(supernet, plane, subnets):
+    stream = SubnetStream(subnets)
+    # renumber is not needed: subnets carry their original dense ids
+    return SequentialEngine(supernet, stream, plane).run()
+
+
+def test_checkpoint_resume_is_bitwise(ckpt_space, tmp_path):
+    """Train 30 straight == train 15, checkpoint, restore, train 15."""
+    supernet = Supernet(ckpt_space)
+    seeds = SeedSequenceTree(9)
+    stream_full = SubnetStream.sample(ckpt_space, seeds, 30)
+    subnets = list(stream_full)
+
+    # Straight-through reference.
+    reference_plane = _plane(supernet)
+    SequentialEngine(supernet, SubnetStream(subnets), reference_plane).run()
+    reference_digest = reference_plane.digest()
+
+    # First half.
+    first_plane = _plane(supernet)
+    half = SubnetStream(subnets[:15])
+    SequentialEngine(supernet, half, first_plane).run()
+    params_path = tmp_path / "weights.npz"
+    optim_path = tmp_path / "velocity.npz"
+    first_plane.save_checkpoint(params_path, optim_path)
+
+    # Resume in a brand-new plane: restore weights + velocity, feed the
+    # remaining half of the same stream.
+    resumed_plane = _plane(supernet)
+    resumed_plane.load_checkpoint(params_path, optim_path)
+    # Drive the second half manually so subnets keep their original
+    # sequence ids (data batches are keyed by id).
+    for original in subnets[15:]:
+        x = resumed_plane.input_for(original)
+        activation = resumed_plane.forward_stage(
+            original, 0, (0, original.num_blocks), x, 0.0
+        )
+        loss, dfinal = resumed_plane.loss_and_grad(
+            original, activation.stage_output
+        )
+        _dx, updates = resumed_plane.backward_stage(activation, dfinal)
+        resumed_plane.commit(updates, 0.0)
+
+    assert resumed_plane.digest() == reference_digest
+
+
+def test_checkpoint_without_optimizer_state_diverges(ckpt_space, tmp_path):
+    """Restoring weights but not velocity is NOT a faithful resume —
+    the test documents why the optimizer state is part of the
+    checkpoint contract."""
+    supernet = Supernet(ckpt_space)
+    seeds = SeedSequenceTree(9)
+    subnets = list(SubnetStream.sample(ckpt_space, seeds, 20))
+
+    reference_plane = _plane(supernet)
+    SequentialEngine(supernet, SubnetStream(subnets), reference_plane).run()
+
+    first_plane = _plane(supernet)
+    SequentialEngine(supernet, SubnetStream(subnets[:10]), first_plane).run()
+    params_path = tmp_path / "weights.npz"
+    first_plane.save_checkpoint(params_path)  # no velocity
+
+    resumed_plane = _plane(supernet)
+    resumed_plane.load_checkpoint(params_path)
+    for original in subnets[10:]:
+        x = resumed_plane.input_for(original)
+        activation = resumed_plane.forward_stage(
+            original, 0, (0, original.num_blocks), x, 0.0
+        )
+        _loss, dfinal = resumed_plane.loss_and_grad(
+            original, activation.stage_output
+        )
+        _dx, updates = resumed_plane.backward_stage(activation, dfinal)
+        resumed_plane.commit(updates, 0.0)
+    assert resumed_plane.digest() != reference_plane.digest()
+
+
+# ----------------------------------------------------------------------
+# heterogeneous clusters
+# ----------------------------------------------------------------------
+def _hetero_run(config, speeds, seed=4, gpus=4, steps=20):
+    space = get_search_space("NLP.c3").scaled(
+        name="hetero", num_blocks=12, functional_width=16
+    )
+    supernet = Supernet(space)
+    seeds_tree = SeedSequenceTree(seed)
+    stream = SubnetStream.sample(space, seeds_tree, steps)
+    plane = FunctionalPlane(supernet, seeds_tree, functional_batch=6)
+    spec = ClusterSpec(num_gpus=gpus, gpu_speed_factors=speeds)
+    engine = PipelineEngine(
+        supernet, stream, config, spec, batch=32, functional=plane
+    )
+    return engine.run()
+
+
+def test_speed_factors_change_timing():
+    nominal = _hetero_run(naspipe(), None)
+    slow = _hetero_run(naspipe(), (1.0, 2.0, 1.0, 1.5))
+    assert slow.makespan_ms > nominal.makespan_ms
+
+
+def test_csp_reproducible_across_heterogeneous_clusters():
+    """Definition 1's "potentially on a different cluster": CSP's final
+    weights are identical even when per-GPU speeds differ wildly."""
+    nominal = _hetero_run(naspipe(), None)
+    throttled = _hetero_run(naspipe(), (1.0, 3.0, 0.7, 1.4))
+    assert throttled.digest == nominal.digest
+    assert throttled.losses == nominal.losses
+
+
+def test_asp_result_depends_on_gpu_speeds():
+    nominal = _hetero_run(pipedream(), None)
+    throttled = _hetero_run(pipedream(), (1.0, 3.0, 0.7, 1.4))
+    assert throttled.digest != nominal.digest
+
+
+def test_speed_factor_validation():
+    with pytest.raises(ConfigError):
+        ClusterSpec(num_gpus=4, gpu_speed_factors=(1.0, 1.0))
+    with pytest.raises(ConfigError):
+        ClusterSpec(num_gpus=2, gpu_speed_factors=(1.0, 0.0))
+    assert ClusterSpec(num_gpus=2, gpu_speed_factors=(1.0, 2.0)).speed_factor(1) == 2.0

@@ -1,0 +1,61 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure5" in out and "table3" in out
+
+
+def test_run_table5(capsys):
+    assert main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "conv3x1" in out
+
+
+def test_run_table4_with_seed(capsys):
+    assert main(["table4", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "2F-2B-5F-5B-7F-7B" in out
+
+
+def test_spaces_filter(capsys):
+    assert main(["dag-bound", "--spaces", "NLP.c3"]) == 0
+    out = capsys.readouterr().out
+    assert "NLP.c3" in out and "NLP.c1" not in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure9"])
+
+
+def test_csv_export_flag(tmp_path, capsys):
+    assert main(["table5", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "csv written" in out
+    csv_text = (tmp_path / "table5.csv").read_text()
+    assert csv_text.startswith("domain,layer")
+
+
+def test_scheduler_cost_command(capsys):
+    assert main(["scheduler-cost"]) == 0
+    assert "10 ms bound" in capsys.readouterr().out
+
+
+def test_repro_check_command(capsys):
+    assert main(["repro-check"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS: digests match" in out
+    assert "FAIL" not in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "NASPipe demo" in out
+    assert "GPU0" in out and "fwd-start" in out

@@ -1,0 +1,127 @@
+"""DependencyTracker tests: Definition 2's exact per-layer semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dependency import DependencyTracker
+from repro.errors import SchedulingError
+from repro.supernet.subnet import Subnet
+
+
+def _tracker(*subnets):
+    tracker = DependencyTracker()
+    for subnet in subnets:
+        tracker.register(subnet)
+    return tracker
+
+
+def test_register_twice_raises():
+    tracker = _tracker(Subnet(0, (1, 2)))
+    with pytest.raises(SchedulingError):
+        tracker.register(Subnet(0, (1, 2)))
+
+
+def test_independent_subnets_always_clear():
+    tracker = _tracker(Subnet(0, (0, 0)), Subnet(1, (1, 1)))
+    assert tracker.is_clear(1, [(0, 1), (1, 1)])
+    assert tracker.is_clear(0, [(0, 0), (1, 0)])
+
+
+def test_shared_layer_blocks_until_release():
+    a = Subnet(0, (5, 0))
+    b = Subnet(1, (5, 1))
+    tracker = _tracker(a, b)
+    blocking = tracker.blocking_user(1, [(0, 5)])
+    assert blocking == (0, (0, 5))
+    tracker.release_layers(0, [(0, 5)])
+    assert tracker.is_clear(1, [(0, 5)])
+
+
+def test_release_is_per_layer():
+    a = Subnet(0, (5, 7))
+    b = Subnet(1, (5, 7))
+    tracker = _tracker(a, b)
+    tracker.release_layers(0, [(0, 5)])
+    assert tracker.is_clear(1, [(0, 5)])
+    assert not tracker.is_clear(1, [(1, 7)])
+
+
+def test_earlier_only_blocks_later_not_vice_versa():
+    a = Subnet(0, (3,))
+    b = Subnet(1, (3,))
+    tracker = _tracker(a, b)
+    # The earlier subnet is never blocked by the later one.
+    assert tracker.is_clear(0, [(0, 3)])
+    assert not tracker.is_clear(1, [(0, 3)])
+
+
+def test_mark_finished_releases_everything_and_advances_frontier():
+    a = Subnet(0, (1, 1))
+    b = Subnet(1, (1, 1))
+    tracker = _tracker(a, b)
+    tracker.mark_finished(0)
+    assert tracker.frontier == 1
+    assert tracker.is_clear(1, [(0, 1), (1, 1)])
+    tracker.mark_finished(1)
+    assert tracker.frontier == 2
+    assert tracker.active_subnets() == []
+
+
+def test_frontier_waits_for_prefix():
+    subnets = [Subnet(i, (i % 2,)) for i in range(4)]
+    tracker = _tracker(*subnets)
+    tracker.mark_finished(2)
+    assert tracker.frontier == 0  # 0 and 1 still outstanding
+    tracker.mark_finished(0)
+    assert tracker.frontier == 1
+    tracker.mark_finished(1)
+    assert tracker.frontier == 3  # 2 was already finished
+
+
+def test_elimination_prunes_user_lists():
+    a = Subnet(0, (4,))
+    b = Subnet(1, (4,))
+    tracker = _tracker(a, b)
+    assert tracker.layer_users((0, 4)) == [0, 1]
+    tracker.mark_finished(0)
+    assert tracker.layer_users((0, 4)) == [1]
+    # Eliminated subnets count as released forever.
+    assert tracker.has_released(0, (0, 4))
+
+
+def test_dependency_exists():
+    tracker = _tracker(Subnet(0, (1, 2)), Subnet(1, (1, 3)), Subnet(2, (0, 0)))
+    assert tracker.dependency_exists(0, 1)
+    assert not tracker.dependency_exists(0, 2)
+
+
+def test_release_unregistered_raises():
+    tracker = DependencyTracker()
+    with pytest.raises(SchedulingError):
+        tracker.release_layers(0, [(0, 0)])
+    with pytest.raises(SchedulingError):
+        tracker.mark_finished(0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_clearance_monotone_under_releases(choice_rows):
+    """Property: releasing layers never makes a clear subnet blocked."""
+    subnets = [Subnet(i, tuple(row)) for i, row in enumerate(choice_rows)]
+    tracker = DependencyTracker()
+    for subnet in subnets:
+        tracker.register(subnet)
+    last = subnets[-1]
+    clear_before = tracker.is_clear(last.subnet_id, last.layer_ids())
+    for subnet in subnets[:-1]:
+        tracker.release_layers(subnet.subnet_id, subnet.layer_ids())
+        clear_now = tracker.is_clear(last.subnet_id, last.layer_ids())
+        assert clear_now or not clear_before
+        clear_before = clear_now
+    assert tracker.is_clear(last.subnet_id, last.layer_ids())

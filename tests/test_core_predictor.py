@@ -1,0 +1,73 @@
+"""Context predictor (Algorithm 3) tests."""
+
+from repro.core.dependency import DependencyTracker
+from repro.core.predictor import ContextPredictor
+from repro.core.scheduler import CspScheduler
+from repro.core.task import TaskKind
+from repro.supernet.subnet import Subnet
+
+
+def _env(rows, lo=0, hi=None):
+    subnets = {i: Subnet(i, tuple(row)) for i, row in enumerate(rows)}
+    hi = hi if hi is not None else len(rows[0])
+    tracker = DependencyTracker()
+    for subnet in subnets.values():
+        tracker.register(subnet)
+
+    def stage_layers(subnet_id):
+        return subnets[subnet_id].layers_in_range(lo, hi)
+
+    predictor = ContextPredictor(0, CspScheduler(), stage_layers, depth=2)
+    return subnets, tracker, predictor
+
+
+def test_backward_prediction_assumes_release():
+    # Subnet 1 shares with 0; a backward of 0 should predict 1's forward.
+    _subnets, tracker, predictor = _env([(4, 4), (4, 4)])
+    predictions = predictor.predict_on_backward(0, [1], tracker)
+    assert [p.task.subnet_id for p in predictions] == [1]
+    assert predictions[0].task.kind is TaskKind.FORWARD
+    assert predictions[0].reason == "after-backward"
+
+
+def test_backward_prediction_depth_chains():
+    # 0 blocks 1 blocks 2 on the same layer; after 0's backward the
+    # depth-2 forecast optimistically predicts both 1 and 2.
+    _subnets, tracker, predictor = _env([(4,), (4,), (4,)])
+    predictions = predictor.predict_on_backward(0, [1, 2], tracker)
+    assert [p.task.subnet_id for p in predictions] == [1, 2]
+
+
+def test_forward_prediction_skips_current_and_releases_pending():
+    _subnets, tracker, predictor = _env([(1,), (2,), (3,)])
+    # Record a pending backward hint for subnet 1, then announce subnet
+    # 1's forward: the pending backward must be predicted for prefetch.
+    predictor.predict_on_backward(0, [], tracker, pending_backward_hints=[1])
+    predictions = predictor.predict_on_forward(1, [2], tracker)
+    kinds = {(p.task.subnet_id, p.task.kind) for p in predictions}
+    assert (1, TaskKind.BACKWARD) in kinds
+    assert (2, TaskKind.FORWARD) in kinds
+    # The hint is consumed.
+    assert predictor.blocked_backwards == []
+
+
+def test_forward_prediction_keeps_unrelated_hints():
+    _subnets, tracker, predictor = _env([(1,), (2,), (3,)])
+    predictor.predict_on_backward(0, [], tracker, pending_backward_hints=[2])
+    predictor.predict_on_forward(1, [], tracker)
+    assert predictor.blocked_backwards == [2]
+
+
+def test_no_prediction_when_everything_blocked():
+    _subnets, tracker, predictor = _env([(4,), (4,), (4,)])
+    # Nothing released yet: forward after subnet 2's hypothetical
+    # schedule must not predict blocked subnets.
+    predictions = predictor.predict_on_forward(0, [1, 2], tracker)
+    assert [p.task.subnet_id for p in predictions] == []
+
+
+def test_prediction_counter_increments():
+    _subnets, tracker, predictor = _env([(1,), (2,)])
+    predictor.predict_on_backward(0, [1], tracker)
+    predictor.predict_on_forward(0, [1], tracker)
+    assert predictor.predictions_made == 2

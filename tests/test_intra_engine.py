@@ -1,0 +1,75 @@
+"""Intra-subnet (micro-batch) engine tests."""
+
+import pytest
+
+from repro.engines.intra import IntraSubnetEngine
+from repro.errors import ConfigError
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.supernet import Supernet
+
+
+def _engine(supernet, batch=32, microbatches=4, gpus=4, count=10, seed=3):
+    stream = SubnetStream.sample(supernet.space, SeedSequenceTree(seed), count)
+    return IntraSubnetEngine(
+        supernet, stream, ClusterSpec(num_gpus=gpus), batch=batch,
+        microbatches=microbatches,
+    )
+
+
+def test_completes_all_subnets(small_supernet):
+    result = _engine(small_supernet).run()
+    assert result.subnets_completed == 10
+    assert result.makespan_ms > 0
+    assert 0.0 <= result.bubble_ratio <= 1.0
+
+
+def test_subnets_strictly_sequential(small_supernet):
+    result = _engine(small_supernet, count=6).run()
+    completions = result.trace.subnet_completion_times
+    # Each subnet's first task starts after the previous one completed.
+    for sid in range(1, 6):
+        first_start = min(
+            interval.start
+            for interval in result.trace.intervals
+            if interval.subnet_id == sid
+        )
+        assert first_start >= completions[sid - 1] - 1e-9
+
+
+def test_no_gpu_overlap(small_supernet):
+    result = _engine(small_supernet, count=6).run()
+    by_gpu = {}
+    for interval in sorted(result.trace.intervals, key=lambda i: i.start):
+        last = by_gpu.get(interval.gpu_id, 0.0)
+        assert interval.start >= last - 1e-9
+        by_gpu[interval.gpu_id] = interval.end
+
+
+def test_microbatching_tradeoff_at_supernet_batch_sizes(small_supernet):
+    """The paper's §2.2 argument, measured: splitting a supernet-sized
+    batch into micro-batches fills the pipeline (bubble falls) but every
+    slice pays the GPU latency floor, so total time *rises* — which is
+    why intra-subnet task generation is 'non-general'."""
+    one = _engine(small_supernet, batch=64, microbatches=1, count=8).run()
+    eight = _engine(small_supernet, batch=64, microbatches=8, count=8).run()
+    assert eight.bubble_ratio < one.bubble_ratio
+    assert eight.makespan_ms > one.makespan_ms
+
+
+def test_validation():
+    from repro.supernet.search_space import get_search_space
+
+    supernet = Supernet(get_search_space("NLP.c3").scaled(num_blocks=8))
+    with pytest.raises(ConfigError):
+        _engine(supernet, batch=10, microbatches=4)  # not divisible
+    with pytest.raises(ConfigError):
+        _engine(supernet, microbatches=0)
+
+
+def test_deterministic(small_supernet):
+    a = _engine(small_supernet).run()
+    b = _engine(small_supernet).run()
+    assert a.makespan_ms == b.makespan_ms
+    assert a.trace.gantt_rows() == b.trace.gantt_rows()

@@ -1,0 +1,113 @@
+"""Memory model tests: batch feasibility, OOM cases, Table 2 shapes."""
+
+import pytest
+
+from repro.baselines import gpipe, naspipe, pipedream, vpipe
+from repro.memory_model import (
+    activation_bytes_per_sample,
+    max_feasible_batch,
+    memory_breakdown,
+    resident_param_bytes_per_stage,
+)
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.search_space import get_search_space
+from repro.supernet.supernet import Supernet
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec(num_gpus=8)
+
+
+def _supernet(name):
+    return Supernet(get_search_space(name))
+
+
+def test_full_context_residency_scales_with_supernet(cluster):
+    c1 = resident_param_bytes_per_stage(_supernet("NLP.c1"), gpipe(), 8)
+    c3 = resident_param_bytes_per_stage(_supernet("NLP.c3"), gpipe(), 8)
+    assert c1 > c3 * 2.5  # 72 vs 24 choices per block
+
+
+def test_cached_residency_independent_of_choices(cluster):
+    c1 = resident_param_bytes_per_stage(_supernet("NLP.c1"), naspipe(), 8)
+    c3 = resident_param_bytes_per_stage(_supernet("NLP.c3"), naspipe(), 8)
+    # A subnet's size does not depend on how many candidates exist.
+    assert c1 == pytest.approx(c3, rel=0.1)
+
+
+def test_naspipe_cache_is_three_subnets(cluster):
+    one = resident_param_bytes_per_stage(
+        _supernet("NLP.c1"), vpipe(), 8
+    )
+    three = resident_param_bytes_per_stage(_supernet("NLP.c1"), naspipe(), 8)
+    assert three == pytest.approx(3 * one, rel=0.05)
+
+
+def test_nlp_c0_oom_for_full_context_systems(cluster):
+    supernet = _supernet("NLP.c0")
+    assert max_feasible_batch(supernet, gpipe(), cluster) is None
+    assert max_feasible_batch(supernet, pipedream(), cluster) is None
+    assert max_feasible_batch(supernet, naspipe(), cluster) is not None
+    assert max_feasible_batch(supernet, vpipe(), cluster) is not None
+
+
+def test_batch_ordering_matches_table2(cluster):
+    """NASPipe ≥ VPipe > GPipe > PipeDream on NLP.c1 (Table 2)."""
+    supernet = _supernet("NLP.c1")
+    batches = {
+        name: max_feasible_batch(supernet, config, cluster)
+        for name, config in (
+            ("naspipe", naspipe()),
+            ("vpipe", vpipe()),
+            ("gpipe", gpipe()),
+            ("pipedream", pipedream()),
+        )
+    }
+    assert batches["naspipe"] == supernet.space.max_batch
+    assert batches["vpipe"] == supernet.space.max_batch
+    assert batches["gpipe"] is not None
+    assert batches["pipedream"] is not None
+    assert batches["gpipe"] < batches["naspipe"]
+    assert batches["pipedream"] < batches["gpipe"]
+
+
+def test_baseline_batch_grows_as_space_shrinks(cluster):
+    """GPipe's supported batch grows from c1 to c3 (Table 2's 32→128)."""
+    batches = [
+        max_feasible_batch(_supernet(name), gpipe(), cluster)
+        for name in ("NLP.c1", "NLP.c2", "NLP.c3")
+    ]
+    assert batches[0] < batches[1] <= batches[2]
+
+
+def test_batches_are_multiples_of_granularity(cluster):
+    batch = max_feasible_batch(_supernet("NLP.c2"), gpipe(), cluster)
+    assert batch % 4 == 0
+
+
+def test_breakdown_components_positive(cluster):
+    supernet = _supernet("CV.c1")
+    breakdown = memory_breakdown(supernet, naspipe(), cluster, batch=32)
+    assert breakdown.param_bytes > 0
+    assert breakdown.stash_bytes > 0
+    assert breakdown.working_bytes > 0
+    assert breakdown.total == (
+        breakdown.param_bytes + breakdown.stash_bytes + breakdown.working_bytes
+    )
+
+
+def test_no_recompute_costs_more_activation(cluster):
+    supernet = _supernet("NLP.c1")
+    with_recompute = activation_bytes_per_sample(supernet, gpipe(), 8)
+    without = activation_bytes_per_sample(supernet, pipedream(), 8)
+    assert without > with_recompute
+
+
+def test_feasible_batch_monotone_in_gpu_memory():
+    supernet = _supernet("NLP.c2")
+    small = ClusterSpec(num_gpus=8, gpu_memory_bytes=9 * 10**9)
+    large = ClusterSpec(num_gpus=8, gpu_memory_bytes=13 * 10**9)
+    b_small = max_feasible_batch(supernet, gpipe(), small)
+    b_large = max_feasible_batch(supernet, gpipe(), large)
+    assert (b_small or 0) <= (b_large or 0)

@@ -1,0 +1,125 @@
+"""Gradient and contract checks for every candidate-layer family.
+
+Every family's manual backward is verified against central-difference
+numerical gradients — in float64 replicas of the float32 math, with loose
+but meaningful tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    LAYER_IMPLEMENTATIONS,
+    build_parameters,
+    layer_backward,
+    layer_forward,
+)
+from repro.errors import SearchSpaceError
+
+WIDTH = 10
+BATCH = 6
+FAMILIES = sorted(LAYER_IMPLEMENTATIONS)
+
+
+def _rng():
+    return np.random.Generator(np.random.PCG64(1234))
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_forward_shapes_and_dtype(family):
+    rng = _rng()
+    params = build_parameters(family, WIDTH, rng)
+    x = rng.standard_normal((BATCH, WIDTH)).astype(np.float32)
+    y, cache = layer_forward(family, x, params)
+    assert y.shape == (BATCH, WIDTH)
+    assert y.dtype == np.float32
+    for name, array in params.items():
+        assert array.dtype == np.float32, name
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_backward_shapes(family):
+    rng = _rng()
+    params = build_parameters(family, WIDTH, rng)
+    x = rng.standard_normal((BATCH, WIDTH)).astype(np.float32)
+    y, cache = layer_forward(family, x, params)
+    dy = rng.standard_normal(y.shape).astype(np.float32)
+    dx, grads = layer_backward(family, dy, cache, params)
+    assert dx.shape == x.shape
+    assert set(grads) == set(params)
+    for name in params:
+        assert grads[name].shape == params[name].shape
+
+
+def _numeric_grad(f, array, epsilon=1e-3):
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        up = f()
+        flat[index] = original - epsilon
+        down = f()
+        flat[index] = original
+        grad_flat[index] = (up - down) / (2 * epsilon)
+    return grad
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_gradients_match_numerical(family):
+    rng = _rng()
+    params = build_parameters(family, WIDTH, rng)
+    x = rng.standard_normal((BATCH, WIDTH)).astype(np.float32) * 0.5
+    # Scalar objective: weighted sum of outputs (fixed weights).
+    weights = rng.standard_normal((BATCH, WIDTH)).astype(np.float32)
+
+    def objective() -> float:
+        y, _ = layer_forward(family, x, params)
+        return float((y.astype(np.float64) * weights).sum())
+
+    y, cache = layer_forward(family, x, params)
+    dx, grads = layer_backward(family, weights, cache, params)
+
+    num_dx = _numeric_grad(objective, x)
+    assert np.allclose(dx, num_dx, rtol=2e-2, atol=2e-2), family
+    for name in params:
+        num = _numeric_grad(objective, params[name])
+        assert np.allclose(grads[name], num, rtol=2e-2, atol=2e-2), (
+            family,
+            name,
+        )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_forward_is_deterministic(family):
+    rng = _rng()
+    params = build_parameters(family, WIDTH, rng)
+    x = rng.standard_normal((BATCH, WIDTH)).astype(np.float32)
+    y1, _ = layer_forward(family, x, params)
+    y2, _ = layer_forward(family, x, params)
+    assert np.array_equal(y1, y2)
+
+
+def test_build_is_deterministic_per_seed():
+    for family in FAMILIES:
+        a = build_parameters(family, WIDTH, _rng())
+        b = build_parameters(family, WIDTH, _rng())
+        assert set(a) == set(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+
+
+def test_unknown_family_raises():
+    with pytest.raises(SearchSpaceError):
+        layer_forward("nope", np.zeros((1, 4), np.float32), {})
+    with pytest.raises(SearchSpaceError):
+        build_parameters("nope", 4, _rng())
+
+
+def test_family_count_covers_catalog_needs():
+    # The NLP and CV catalogs reference these families; removing one
+    # silently breaks supernet construction.
+    assert {"conv", "sepconv", "glu", "attention", "branch", "linear"} <= set(
+        LAYER_IMPLEMENTATIONS
+    )

@@ -1,0 +1,114 @@
+"""Stage program tests: recompute equivalence, residuals, commit order."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD
+from repro.nn.parameter_store import ParameterStore
+from repro.nn.program import SubnetSegmentProgram
+
+WIDTH = 8
+
+
+def _factory(layer):
+    block, choice = layer
+    rng = np.random.Generator(np.random.PCG64(block * 97 + choice))
+    from repro.nn.layers import build_parameters
+
+    families = ["linear", "conv", "sepconv", "glu", "attention", "branch"]
+    return build_parameters(families[block % len(families)], WIDTH, rng)
+
+
+def _refs(blocks):
+    families = ["linear", "conv", "sepconv", "glu", "attention", "branch"]
+    return [((block, 0), families[block % len(families)]) for block in range(blocks)]
+
+
+def _input(batch=5):
+    rng = np.random.Generator(np.random.PCG64(7))
+    return rng.standard_normal((batch, WIDTH)).astype(np.float32)
+
+
+def test_forward_output_float32_and_deterministic():
+    store = ParameterStore(_factory)
+    program = SubnetSegmentProgram(store)
+    activation = program.forward(0, 0, _refs(4), _input())
+    again = program.forward(0, 0, _refs(4), _input())
+    assert activation.stage_output.dtype == np.float32
+    assert np.array_equal(activation.stage_output, again.stage_output)
+
+
+def test_recompute_is_bit_identical_to_cached():
+    store = ParameterStore(_factory)
+    cached = SubnetSegmentProgram(store, recompute=False)
+    recomputed = SubnetSegmentProgram(store, recompute=True)
+    dy = _input() * 0.1
+    act_cached = cached.forward(0, 0, _refs(5), _input())
+    act_recomp = recomputed.forward(0, 0, _refs(5), _input())
+    assert act_recomp.caches is None and act_cached.caches is not None
+    dx_c, upd_c = cached.backward(act_cached, dy)
+    dx_r, upd_r = recomputed.backward(act_recomp, dy)
+    assert np.array_equal(dx_c, dx_r)
+    for a, b in zip(upd_c, upd_r):
+        assert a.layer == b.layer
+        for name in a.grads:
+            assert np.array_equal(a.grads[name], b.grads[name])
+
+
+def test_residual_gradient_matches_numerical():
+    store = ParameterStore(_factory)
+    program = SubnetSegmentProgram(store)
+    refs = _refs(3)
+    x = _input(batch=3) * 0.5
+    weights = np.ones((3, WIDTH), np.float32)
+
+    def objective():
+        activation = program.forward(0, 0, refs, x)
+        return float(activation.stage_output.astype(np.float64).sum())
+
+    activation = program.forward(0, 0, refs, x)
+    dx, _updates = program.backward(activation, weights)
+    eps = 1e-3
+    numeric = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    num_flat = numeric.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        up = objective()
+        flat[index] = original - eps
+        down = objective()
+        flat[index] = original
+        num_flat[index] = (up - down) / (2 * eps)
+    assert np.allclose(dx, numeric, rtol=3e-2, atol=3e-2)
+
+
+def test_non_residual_mode_changes_output():
+    store = ParameterStore(_factory)
+    residual = SubnetSegmentProgram(store, residual_blocks=True)
+    plain = SubnetSegmentProgram(store, residual_blocks=False)
+    x = _input()
+    out_res = residual.forward(0, 0, _refs(3), x).stage_output
+    out_plain = plain.forward(0, 0, _refs(3), x).stage_output
+    assert not np.array_equal(out_res, out_plain)
+
+
+def test_commit_updates_writes_and_logs():
+    store = ParameterStore(_factory)
+    program = SubnetSegmentProgram(store)
+    activation = program.forward(3, 0, _refs(2), _input())
+    _dx, updates = program.backward(activation, _input() * 0.01)
+    versions_before = [store.version(u.layer) for u in updates]
+    program.commit_updates(updates, SGD(0.1))
+    for update, before in zip(updates, versions_before):
+        assert store.version(update.layer) == before + 1
+    writes = [r for r in store.access_log if r.kind.value == "W"]
+    assert [w.subnet_id for w in writes] == [3, 3]
+
+
+def test_updates_ordered_front_to_back():
+    store = ParameterStore(_factory)
+    program = SubnetSegmentProgram(store)
+    activation = program.forward(0, 0, _refs(4), _input())
+    _dx, updates = program.backward(activation, _input() * 0.01)
+    assert [u.layer[0] for u in updates] == [0, 1, 2, 3]

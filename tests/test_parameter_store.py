@@ -1,0 +1,153 @@
+"""Tests for the versioned, access-logged parameter store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchSpaceError
+from repro.nn.parameter_store import AccessKind, ParameterStore
+
+
+def _factory(layer):
+    block, choice = layer
+    rng = np.random.Generator(np.random.PCG64(block * 1000 + choice))
+    return {"weight": rng.standard_normal((4, 4)).astype(np.float32)}
+
+
+def test_lazy_materialization_and_len():
+    store = ParameterStore(_factory)
+    assert len(store) == 0
+    store.materialize((0, 1))
+    assert len(store) == 1
+    assert (0, 1) in store
+    assert (0, 2) not in store
+
+
+def test_read_returns_snapshot_not_alias():
+    store = ParameterStore(_factory)
+    snapshot = store.read((0, 0), subnet_id=0)
+    snapshot["weight"][...] = 0.0
+    assert not np.array_equal(store.materialize((0, 0))["weight"], snapshot["weight"])
+
+
+def test_write_updates_in_place_and_bumps_version():
+    store = ParameterStore(_factory)
+    before = store.read((1, 1), subnet_id=0)
+    assert store.version((1, 1)) == 0
+    store.write((1, 1), 0, {"weight": np.zeros((4, 4), np.float32)})
+    assert store.version((1, 1)) == 1
+    after = store.read((1, 1), subnet_id=1)
+    assert np.all(after["weight"] == 0.0)
+    assert not np.array_equal(before["weight"], after["weight"])
+
+
+def test_write_rejects_mismatched_names():
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    with pytest.raises(SearchSpaceError):
+        store.write((0, 0), 0, {"bias": np.zeros(4, np.float32)})
+
+
+def test_factory_must_produce_float32():
+    def bad(layer):
+        return {"weight": np.zeros((2, 2), np.float64)}
+
+    store = ParameterStore(bad)
+    with pytest.raises(SearchSpaceError):
+        store.materialize((0, 0))
+
+
+def test_access_log_records_order_and_renders_table4_style():
+    store = ParameterStore(_factory)
+    layer = (3, 2)
+    store.read(layer, subnet_id=2)
+    store.write(layer, 2, store.read(layer, subnet_id=2))
+    # The extra read above logs 2F twice; use a fresh store for clarity.
+    store = ParameterStore(_factory)
+    for sid in (2, 5, 7):
+        snapshot = store.read(layer, sid)
+        store.write(layer, sid, snapshot)
+    assert store.access_order_string(layer) == "2F-2B-5F-5B-7F-7B"
+    kinds = [record.kind for record in store.access_order(layer)]
+    assert kinds == [
+        AccessKind.READ,
+        AccessKind.WRITE,
+    ] * 3
+
+
+def test_access_log_can_be_disabled():
+    store = ParameterStore(_factory, record_accesses=False)
+    store.read((0, 0), 0)
+    assert store.access_log == []
+
+
+def test_digest_detects_single_bit_change():
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    store.materialize((0, 1))
+    digest = store.digest()
+    weights = store.materialize((0, 0))["weight"]
+    view = weights.view(np.uint32)
+    view[0, 0] ^= 1  # flip one mantissa bit
+    assert store.digest() != digest
+
+
+def test_digest_independent_of_materialization_order():
+    a = ParameterStore(_factory)
+    b = ParameterStore(_factory)
+    a.materialize((0, 0))
+    a.materialize((5, 3))
+    b.materialize((5, 3))
+    b.materialize((0, 0))
+    assert a.digest() == b.digest()
+
+
+def test_digest_layer_filter():
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    store.materialize((1, 0))
+    assert store.digest([(0, 0)]) != store.digest([(1, 0)])
+    assert store.digest([(0, 0)]) == store.digest([(0, 0)])
+
+
+def test_checkpoint_roundtrip(tmp_path):
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    store.write((0, 0), 0, {"weight": np.full((4, 4), 7.0, np.float32)})
+    store.materialize((3, 2))
+    digest = store.digest()
+    path = tmp_path / "ckpt.npz"
+    assert store.save(path) == 2
+
+    fresh = ParameterStore(_factory)
+    assert fresh.load(path) == 2
+    assert fresh.digest() == digest
+    # Versions bumped on restore.
+    assert fresh.version((0, 0)) == 1
+
+
+def test_checkpoint_shape_mismatch_rejected(tmp_path):
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    path = tmp_path / "ckpt.npz"
+    store.save(path)
+
+    def other_factory(layer):
+        return {"weight": np.zeros((2, 2), np.float32)}
+
+    wrong = ParameterStore(other_factory)
+    with pytest.raises(SearchSpaceError):
+        wrong.load(path)
+
+
+def test_checkpoint_name_mismatch_rejected(tmp_path):
+    store = ParameterStore(_factory)
+    store.materialize((0, 0))
+    path = tmp_path / "ckpt.npz"
+    store.save(path)
+
+    def other_factory(layer):
+        return {"kernel": np.zeros((4, 4), np.float32)}
+
+    wrong = ParameterStore(other_factory)
+    with pytest.raises(SearchSpaceError):
+        wrong.load(path)

@@ -1,0 +1,198 @@
+"""Pipeline engine behaviour: completion, determinism, policy windows,
+stall accounting, per-system invariants."""
+
+import pytest
+
+from repro.baselines import gpipe, naspipe, pipedream, ssp, vpipe
+from repro.engines.pipeline import PipelineEngine
+from repro.errors import PartitionError
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+
+def _run(supernet, config, count=24, gpus=4, batch=32, seed=11, stream=None):
+    stream = stream or SubnetStream.sample(
+        supernet.space, SeedSequenceTree(seed), count
+    )
+    engine = PipelineEngine(
+        supernet, stream, config, ClusterSpec(num_gpus=gpus), batch=batch
+    )
+    return engine.run()
+
+
+@pytest.mark.parametrize(
+    "config_factory", [naspipe, gpipe, pipedream, vpipe, lambda: ssp(4)]
+)
+def test_all_systems_complete_the_stream(tiny_supernet, config_factory):
+    result = _run(tiny_supernet, config_factory())
+    assert result.subnets_completed == 24
+    assert result.makespan_ms > 0
+    assert 0.0 <= result.bubble_ratio <= 1.0
+
+
+def test_timing_runs_are_deterministic(tiny_supernet):
+    a = _run(tiny_supernet, naspipe())
+    b = _run(tiny_supernet, naspipe())
+    assert a.makespan_ms == b.makespan_ms
+    assert a.trace.gantt_rows() == b.trace.gantt_rows()
+
+
+def test_single_gpu_pipeline_degenerates_to_sequential(tiny_supernet):
+    result = _run(tiny_supernet, naspipe(), gpus=1, count=6)
+    rows = result.trace.gantt_rows()
+    # Strict alternation fwd/bwd per subnet, in sequence order.
+    kinds = [(row[3], row[4]) for row in rows]
+    expected = []
+    for sid in range(6):
+        expected.extend([("fwd", sid), ("bwd", sid)])
+    assert [k for k in kinds if k[0] != "stall"] == expected
+
+
+def test_too_few_blocks_for_stages_raises():
+    space_supernet = Supernet(
+        __import__("repro.supernet.search_space", fromlist=["get_search_space"])
+        .get_search_space("NLP.c3")
+        .scaled(num_blocks=4)
+    )
+    stream = SubnetStream.sample(space_supernet.space, SeedSequenceTree(0), 2)
+    with pytest.raises(PartitionError):
+        PipelineEngine(space_supernet, stream, naspipe(), ClusterSpec(num_gpus=8))
+
+
+def test_bsp_flushes_once_per_bulk(tiny_supernet):
+    config = gpipe(bulk_size=4)
+    stream = SubnetStream.sample(tiny_supernet.space, SeedSequenceTree(1), 12)
+    engine = PipelineEngine(
+        tiny_supernet, stream, config, ClusterSpec(num_gpus=4), batch=32
+    )
+    engine.run()
+    assert engine.policy.flushes == 3
+
+
+def test_bsp_partial_final_bulk_completes(tiny_supernet):
+    config = gpipe(bulk_size=5)
+    result = _run(tiny_supernet, config, count=7)
+    assert result.subnets_completed == 7
+
+
+def test_asp_window_limits_inflight(tiny_supernet):
+    stream = SubnetStream.sample(tiny_supernet.space, SeedSequenceTree(1), 16)
+    engine = PipelineEngine(
+        tiny_supernet, stream, pipedream(), ClusterSpec(num_gpus=4), batch=32
+    )
+    max_seen = 0
+    original = engine._try_inject
+
+    def spying_inject():
+        nonlocal max_seen
+        original()
+        max_seen = max(max_seen, len(engine.inflight))
+
+    engine._try_inject = spying_inject
+    engine.run()
+    assert max_seen <= pipedream().default_window(4)
+
+
+def test_ssp_staleness_zero_serialises(tiny_supernet):
+    strict = _run(tiny_supernet, ssp(0), count=10)
+    loose = _run(tiny_supernet, ssp(8), count=10)
+    assert strict.makespan_ms >= loose.makespan_ms
+
+
+def test_naspipe_cache_hit_reported(tiny_supernet):
+    result = _run(tiny_supernet, naspipe())
+    assert result.cache_hit_rate is not None
+    assert 0.0 <= result.cache_hit_rate <= 1.0
+
+
+def test_full_context_systems_report_no_cache(tiny_supernet):
+    result = _run(tiny_supernet, gpipe())
+    assert result.cache_hit_rate is None
+
+
+def test_vpipe_small_cache_hit_rate_below_naspipe(small_supernet):
+    naspipe_result = _run(small_supernet, naspipe(), count=40, gpus=8)
+    vpipe_result = _run(small_supernet, vpipe(), count=40, gpus=8)
+    assert vpipe_result.cache_hit_rate < naspipe_result.cache_hit_rate
+
+
+def test_mirroring_traffic_accounted(small_supernet):
+    result = _run(small_supernet, naspipe(), count=16, gpus=4)
+    assert result.mirror_push_bytes >= 0
+    no_mirror = _run(small_supernet, naspipe(
+        name="x", mirroring=False, partitioning="static"
+    ), count=16, gpus=4)
+    assert no_mirror.mirror_push_bytes == 0
+
+
+def test_in_order_ablation_slower_than_full(small_supernet):
+    stream_seed = 3
+    full = _run(small_supernet, naspipe(), count=40, gpus=8, seed=stream_seed)
+    from repro.baselines import naspipe_wo_scheduler
+
+    in_order = _run(
+        small_supernet, naspipe_wo_scheduler(), count=40, gpus=8, seed=stream_seed
+    )
+    assert in_order.makespan_ms >= full.makespan_ms
+
+
+def test_batch_defaults_from_memory_model():
+    supernet = Supernet(
+        __import__("repro.supernet.search_space", fromlist=["get_search_space"])
+        .get_search_space("NLP.c1")
+    )
+    stream = SubnetStream.sample(supernet.space, SeedSequenceTree(0), 4)
+    engine = PipelineEngine(supernet, stream, naspipe(), ClusterSpec(num_gpus=8))
+    assert engine.batch == supernet.space.max_batch
+
+
+def test_throughput_and_exec_metrics_positive(tiny_supernet):
+    result = _run(tiny_supernet, naspipe())
+    assert result.throughput_samples_per_sec > 0
+    assert result.mean_exec_ms > 0
+    assert result.total_alu > 0
+
+
+def test_oom_retry_path(small_supernet):
+    """An undersized context cache triggers the simulated CUDA-OOM
+    catch/reclaim/re-execute path (paper §4.2) without deadlocking."""
+    config = naspipe(cache_subnets=0.2)  # far too small on purpose
+    result = _run(small_supernet, config, count=20, gpus=4)
+    assert result.subnets_completed == 20
+    assert result.oom_retries > 0
+
+
+def test_no_oom_retries_at_normal_cache(small_supernet):
+    result = _run(small_supernet, naspipe(), count=20, gpus=4)
+    assert result.oom_retries == 0
+
+
+def test_migrate_mode_slower_than_mirroring(small_supernet):
+    """§2.3: on-demand operator migration 'inevitably incurs high
+    initialization and synchronization costs'; mirroring eliminates them
+    from the critical path."""
+    mirror = _run(small_supernet, naspipe(mirror_mode="mirror"),
+                  count=40, gpus=8, batch=192)
+    engine_stream = SubnetStream.sample(
+        small_supernet.space, SeedSequenceTree(11), 40
+    )
+    migrate_engine = PipelineEngine(
+        small_supernet, engine_stream, naspipe(mirror_mode="migrate"),
+        ClusterSpec(num_gpus=8), batch=192,
+    )
+    migrate = migrate_engine.run()
+    assert migrate_engine.migration_count > 0
+    assert migrate_engine.migration_ms_total > 0
+    assert migrate.makespan_ms > mirror.makespan_ms
+    # Migrate mode creates no replicas, hence no push traffic.
+    assert migrate.mirror_push_bytes == 0
+
+
+def test_mirror_mode_validation():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        naspipe(mirror_mode="teleport")

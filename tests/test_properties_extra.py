@@ -1,0 +1,113 @@
+"""Extra property-based tests: functional determinism, memory-model
+monotonicity, viz robustness, catalog integrity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import gpipe, naspipe
+from repro.memory_model import max_feasible_batch, memory_breakdown
+from repro.nn.layers import LAYER_IMPLEMENTATIONS, build_parameters, layer_forward
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.search_space import get_search_space
+from repro.supernet.supernet import Supernet
+
+
+@given(
+    families=st.lists(
+        st.sampled_from(sorted(LAYER_IMPLEMENTATIONS)), min_size=1, max_size=6
+    ),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_layer_chains_bitwise_deterministic(families, seed):
+    """Any chain of layer families is a pure function of (params, input):
+    re-running it reproduces every bit."""
+    def run():
+        rng = np.random.Generator(np.random.PCG64(seed))
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        for index, family in enumerate(families):
+            params = build_parameters(
+                family, 8, np.random.Generator(np.random.PCG64(seed + index))
+            )
+            x, _ = layer_forward(family, x, params)
+        return x
+
+    first = run()
+    second = run()
+    assert np.array_equal(first, second)
+    assert first.dtype == np.float32
+
+
+@given(
+    window=st.integers(2, 20),
+    cache=st.floats(0.5, 8.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_feasible_batch_monotone_in_footprint(window, cache):
+    """Bigger in-flight windows / caches can only shrink the feasible
+    batch (memory is monotone in both)."""
+    supernet = Supernet(get_search_space("NLP.c2"))
+    cluster = ClusterSpec(num_gpus=8)
+    small = naspipe(inject_window=window, cache_subnets=cache)
+    bigger = naspipe(inject_window=window + 4, cache_subnets=cache + 2.0)
+    batch_small = max_feasible_batch(supernet, small, cluster) or 0
+    batch_big = max_feasible_batch(supernet, bigger, cluster) or 0
+    assert batch_big <= batch_small
+
+
+@given(batch=st.integers(4, 192))
+@settings(max_examples=20, deadline=None)
+def test_memory_breakdown_monotone_in_batch(batch):
+    supernet = Supernet(get_search_space("CV.c1"))
+    cluster = ClusterSpec(num_gpus=8)
+    a = memory_breakdown(supernet, gpipe(), cluster, batch)
+    b = memory_breakdown(supernet, gpipe(), cluster, batch + 4)
+    assert b.total > a.total
+    assert b.param_bytes == a.param_bytes  # params don't scale with batch
+
+
+@given(
+    width=st.integers(10, 120),
+    start_frac=st.floats(0.0, 0.8),
+)
+@settings(max_examples=20, deadline=None)
+def test_ascii_gantt_any_window_well_formed(width, start_frac):
+    from repro.sim.trace import ExecutionTrace
+    from repro.viz import ascii_gantt
+
+    trace = ExecutionTrace(num_gpus=3)
+    trace.record_interval(0, 0.0, 10.0, "fwd", 0)
+    trace.record_interval(1, 3.0, 8.0, "bwd", 11)
+    trace.record_interval(2, 9.0, 9.5, "stall", 2)
+    start = start_frac * 10.0
+    text = ascii_gantt(trace, width=width, start=start)
+    lines = text.splitlines()
+    assert len(lines) == 4  # 3 GPUs + legend
+    for line in lines[:3]:
+        # fixed-width frame regardless of window
+        assert len(line) == len(lines[0])
+
+
+def test_catalog_param_counts_positive_and_distinct():
+    from repro.supernet.catalog import CV_LAYER_TYPES, NLP_LAYER_TYPES
+
+    counts = [p.param_count for p in NLP_LAYER_TYPES + CV_LAYER_TYPES]
+    assert all(count > 0 for count in counts)
+    # Table 5's eight layers all have different swap times, hence sizes.
+    assert len(set(counts)) == len(counts)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=10, deadline=None)
+def test_profile_scale_bounds_any_space(seed):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    space = get_search_space("CV.c2").scaled(
+        name=f"prop{seed}", num_blocks=int(rng.integers(8, 32))
+    )
+    supernet = Supernet(space)
+    block = int(rng.integers(0, space.num_blocks))
+    choice = int(rng.integers(0, space.choices_per_block))
+    profile = supernet.profile((block, choice))
+    assert 0.75 <= profile.size_scale <= 1.25
+    assert profile.swap_ms > 0

@@ -1,0 +1,70 @@
+"""Ranking-stability experiment and CSV export tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import ranking
+from repro.experiments.export import rows_to_csv, write_csv
+
+
+@pytest.fixture(scope="module")
+def ranking_rows():
+    return ranking.run(panel_size=10, steps=24, num_blocks=16, seed=5)
+
+
+def test_csp_ranking_perfectly_stable(ranking_rows):
+    csp = next(r for r in ranking_rows if r.system.startswith("CSP"))
+    assert csp.identical_scores
+    assert csp.kendall_tau == pytest.approx(1.0)
+
+
+def test_non_csp_rankings_shuffle(ranking_rows):
+    for row in ranking_rows:
+        if row.system.startswith("CSP"):
+            continue
+        assert not row.identical_scores, row.system
+
+
+def test_format_text(ranking_rows):
+    text = ranking.format_text(ranking_rows)
+    assert "Kendall" in text
+    assert "True" in text
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _Row:
+    space: str
+    value: float
+    batch: int
+    tags: list
+
+
+def test_rows_to_csv():
+    text = rows_to_csv([_Row("NLP.c1", 1.5, 192, ["a", "b"])])
+    lines = text.strip().splitlines()
+    assert lines[0] == "space,value,batch,tags"
+    assert lines[1] == "NLP.c1,1.5,192,a;b"
+
+
+def test_rows_to_csv_empty_and_type_errors():
+    assert rows_to_csv([]) == ""
+    with pytest.raises(TypeError):
+        rows_to_csv([{"not": "a dataclass"}])
+
+
+def test_write_csv(tmp_path):
+    path = write_csv([_Row("CV.c2", 2.0, 64, [])], tmp_path / "out.csv")
+    assert path.read_text().startswith("space,value,batch")
+
+
+def test_export_real_experiment_rows(tmp_path):
+    from repro.experiments import table5
+
+    rows = table5.run()
+    text = rows_to_csv(rows)
+    assert "conv3x1" in text
+    assert text.count("\n") == len(rows) + 1

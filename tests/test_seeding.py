@@ -1,0 +1,59 @@
+"""Tests for deterministic seed derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.seeding import SeedSequenceTree, derive_seed
+
+
+def test_derive_seed_is_stable():
+    # Regression anchor: the derivation must never change between
+    # versions, or every recorded experiment digest breaks.
+    assert derive_seed(0, "x") == derive_seed(0, "x")
+    assert derive_seed(0, "x") != derive_seed(0, "y")
+    assert derive_seed(0, "x") != derive_seed(1, "x")
+
+
+def test_generator_is_cached_and_stateful():
+    seeds = SeedSequenceTree(42)
+    gen = seeds.generator("stream")
+    first = gen.integers(0, 1000)
+    assert seeds.generator("stream") is gen
+    second = seeds.generator("stream").integers(0, 1000)
+    # The cached generator advanced; a fresh one reproduces the start.
+    fresh = seeds.fresh_generator("stream")
+    assert fresh.integers(0, 1000) == first
+    assert (first, second) == tuple(
+        SeedSequenceTree(42).fresh_generator("stream").integers(0, 1000, size=2)
+    )
+
+
+def test_fresh_generator_independent_of_call_order():
+    a = SeedSequenceTree(7)
+    b = SeedSequenceTree(7)
+    a.fresh_generator("first").standard_normal(4)
+    # b never touched "first": "second" must still match a's "second".
+    va = a.fresh_generator("second").standard_normal(4)
+    vb = b.fresh_generator("second").standard_normal(4)
+    assert np.array_equal(va, vb)
+
+
+def test_child_trees_are_namespaced():
+    root = SeedSequenceTree(99)
+    child_a = root.child("a")
+    child_b = root.child("b")
+    assert child_a.root_seed != child_b.root_seed
+    assert child_a.seed_for("s") != child_b.seed_for("s")
+    assert child_a.seed_for("s") == SeedSequenceTree(99).child("a").seed_for("s")
+
+
+def test_rejects_non_int_seed():
+    with pytest.raises(TypeError):
+        SeedSequenceTree("not-an-int")  # type: ignore[arg-type]
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.text(max_size=40))
+def test_derive_seed_in_64_bit_range(root, name):
+    seed = derive_seed(root, name)
+    assert 0 <= seed < 2**64

@@ -1,0 +1,125 @@
+"""Vocabulary/tokenizer, engine event-listener, and CPU-memory tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.vocab import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    PAD_TOKEN,
+    UNK_TOKEN,
+    Vocabulary,
+    synthetic_vocabulary,
+)
+from repro.seeding import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return synthetic_vocabulary(SeedSequenceTree(5), size=64)
+
+
+def test_vocab_size_and_specials(vocab):
+    assert len(vocab) == 64
+    assert vocab.tokens[0] == PAD_TOKEN
+    assert vocab.id_of(UNK_TOKEN) == vocab.unk_id
+    assert len(set(vocab.tokens)) == 64
+
+
+def test_vocab_deterministic():
+    a = synthetic_vocabulary(SeedSequenceTree(5), size=64)
+    b = synthetic_vocabulary(SeedSequenceTree(5), size=64)
+    assert a.tokens == b.tokens
+    c = synthetic_vocabulary(SeedSequenceTree(6), size=64)
+    assert a.tokens != c.tokens
+
+
+def test_encode_pads_and_truncates(vocab):
+    word = vocab.tokens[10]
+    ids = vocab.encode(f"{word} {word}", seq_len=6)
+    assert ids.shape == (6,)
+    assert ids[0] == vocab.bos_id
+    assert ids[1] == ids[2] == 10
+    assert ids[3] == vocab.eos_id
+    assert list(ids[4:]) == [vocab.pad_id, vocab.pad_id]
+    truncated = vocab.encode(" ".join([word] * 20), seq_len=4)
+    assert truncated.shape == (4,)
+
+
+def test_unknown_words_map_to_unk(vocab):
+    ids = vocab.encode("zzzzzzz", seq_len=4)
+    assert vocab.unk_id in ids
+
+
+def test_roundtrip_decode(vocab):
+    words = [vocab.tokens[12], vocab.tokens[20]]
+    ids = vocab.encode(" ".join(words), seq_len=8)
+    assert vocab.decode(ids) == " ".join(words)
+
+
+def test_encode_batch(vocab):
+    batch = vocab.encode_batch(["a b", "c"], seq_len=5)
+    assert batch.shape == (2, 5)
+    assert batch.dtype == np.int64
+
+
+def test_vocab_validation():
+    with pytest.raises(ValueError):
+        Vocabulary(tokens=["not-pad", "x"])
+    with pytest.raises(ValueError):
+        synthetic_vocabulary(SeedSequenceTree(1), size=2)
+
+
+# ----------------------------------------------------------------------
+# engine event listener
+# ----------------------------------------------------------------------
+def test_event_listener_receives_ordered_events(tiny_supernet):
+    from repro.baselines import naspipe
+    from repro.engines.pipeline import PipelineEngine
+    from repro.sim.cluster import ClusterSpec
+    from repro.supernet.sampler import SubnetStream
+
+    events = []
+    stream = SubnetStream.sample(tiny_supernet.space, SeedSequenceTree(2), 6)
+    engine = PipelineEngine(
+        tiny_supernet, stream, naspipe(), ClusterSpec(num_gpus=2),
+        batch=16, event_listener=lambda *e: events.append(e),
+    )
+    engine.run()
+    kinds = [e[0] for e in events]
+    assert kinds.count("subnet-complete") == 6
+    assert kinds.count("fwd-start") == 6 * 2
+    assert kinds.count("bwd-done") == 6 * 2
+    # Completion times non-decreasing per emission order of completions.
+    completions = [e for e in events if e[0] == "subnet-complete"]
+    times = [e[3] for e in completions]
+    assert times == sorted(times)
+    # First event of any subnet is its stage-0 forward start.
+    first_for_zero = next(e for e in events if e[2] == 0)
+    assert first_for_zero[0] == "fwd-start" and first_for_zero[1] == 0
+
+
+# ----------------------------------------------------------------------
+# CPU pinned-memory feasibility
+# ----------------------------------------------------------------------
+def test_cpu_memory_model():
+    from repro.baselines import gpipe, naspipe
+    from repro.memory_model import (
+        cpu_memory_feasible,
+        cpu_pinned_bytes_per_stage,
+    )
+    from repro.sim.cluster import ClusterSpec
+    from repro.supernet.search_space import get_search_space
+    from repro.supernet.supernet import Supernet
+
+    supernet = Supernet(get_search_space("NLP.c0"))
+    cluster = ClusterSpec(num_gpus=8)
+    pinned = cpu_pinned_bytes_per_stage(supernet, naspipe(), 8)
+    assert pinned > 5 * 10**9  # ~10 GB of an ~80 GB supernet
+    assert cpu_pinned_bytes_per_stage(supernet, gpipe(), 8) == 0
+    # 64 GB hosts hold 4 stages' partitions of even the largest space...
+    assert cpu_memory_feasible(supernet, naspipe(), cluster)
+    # ...but a 16 GB workstation would not.
+    assert not cpu_memory_feasible(
+        supernet, naspipe(), cluster, host_memory_bytes=16 * 10**9
+    )
