@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench experiments repro-check demo clean
+.PHONY: install test bench bench-scheduler experiments repro-check demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-scheduler:
+	python -m repro scheduler-cost --json BENCH_scheduler.json \
+		--baseline benchmarks/scheduler_baseline.json
 
 experiments:
 	python -m repro all --scale small

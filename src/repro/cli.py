@@ -112,6 +112,30 @@ def _run_one(name: str, args) -> str:
     if name == "scheduler-cost":
         from repro.experiments import scheduler_cost
 
+        out = []
+        if args.json or args.baseline:
+            # Stream-length scaling: readiness index vs scan reference,
+            # emitted as BENCH_scheduler.json and optionally gated
+            # against a committed baseline (CI regression check).
+            lens = tuple(args.stream_lens or (100, 300, 1000))
+            payload = scheduler_cost.run_scaling(
+                stream_lens=lens, seed=args.seed
+            )
+            out.append(scheduler_cost.format_scaling_text(payload))
+            if args.json:
+                path = scheduler_cost.write_bench_json(payload, args.json)
+                out.append(f"[bench written to {path}]")
+            if args.baseline:
+                failures = scheduler_cost.check_regression(
+                    payload, args.baseline
+                )
+                if failures:
+                    raise SystemExit(
+                        "scheduler cost regression:\n  "
+                        + "\n  ".join(failures)
+                    )
+                out.append(f"[no regression vs {args.baseline}]")
+            return "\n".join(out)
         rows = scheduler_cost.run(seed=args.seed)
         return scheduler_cost.format_text(rows) + _maybe_csv(name, rows, args)
     if name == "ranking":
@@ -243,6 +267,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--scores",
         action="store_true",
         help="table2: add the Score column (scaled functional runs; slower)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="scheduler-cost: run the stream-scaling benchmark and write "
+        "its payload (BENCH_scheduler.json) here",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="scheduler-cost: fail (exit 1) if mean per-call time "
+        "regresses >2x against this committed baseline JSON",
+    )
+    parser.add_argument(
+        "--stream-lens",
+        type=int,
+        nargs="*",
+        help="scheduler-cost: stream lengths for the scaling benchmark",
     )
     args = parser.parse_args(argv)
 

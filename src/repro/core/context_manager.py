@@ -112,8 +112,8 @@ class StageContextManager:
                 self.copy_engine.enqueue(entry.nbytes, now)
                 self.writeback_bytes += entry.nbytes
 
-    def _fetch(self, layer: LayerId, now: float) -> float:
-        """Start an async copy of ``layer``; returns completion time."""
+    def _fetch(self, layer: LayerId, now: float) -> Tuple[float, int]:
+        """Start an async copy of ``layer``; returns (completion, nbytes)."""
         nbytes = self.supernet.profile(layer).param_bytes
         self._evict_for(nbytes, now)
         completion = self.copy_engine.enqueue(nbytes, now)
@@ -121,7 +121,7 @@ class StageContextManager:
         self.resident_bytes += nbytes
         self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
         self.fetch_bytes += nbytes
-        return completion
+        return completion, nbytes
 
     # ------------------------------------------------------------------
     # public operations
@@ -139,7 +139,8 @@ class StageContextManager:
                 self._touch(layer)
                 ready = max(ready, entry.ready_at)
             else:
-                ready = max(ready, self._fetch(layer, now))
+                completion, _ = self._fetch(layer, now)
+                ready = max(ready, completion)
         return ready
 
     def acquire_for_task(
@@ -149,7 +150,10 @@ class StageContextManager:
 
         Layers already resident (copy landed) are hits; layers absent or
         still in flight are misses and the task must stall until
-        ``ready_time``.
+        ``ready_time``.  ``fetched_bytes`` counts only copies *started by
+        this call* — a miss on a still-in-flight prefetch stalls but does
+        not re-pay the copy, so those bytes are intentionally excluded
+        (they were charged to ``fetch_bytes`` when the prefetch issued).
         """
         hits = 0
         misses = 0
@@ -163,8 +167,8 @@ class StageContextManager:
             else:
                 misses += 1
                 if entry is None:
-                    completion = self._fetch(layer, now)
-                    fetched += self.supernet.profile(layer).param_bytes
+                    completion, nbytes = self._fetch(layer, now)
+                    fetched += nbytes
                 else:
                     completion = entry.ready_at
                     self._touch(layer)
@@ -192,10 +196,16 @@ class StageContextManager:
         self._evict_for(0, now)
 
     def evict_subnet(self, layers: Iterable[LayerId], now: float) -> None:
-        """Eagerly evict a finished subnet's layers (paper: EVICT call)."""
+        """Eagerly evict a finished subnet's layers (paper: EVICT call).
+
+        Entries whose copy has not landed yet (``ready_at > now``) are
+        skipped: evicting an in-flight prefetch would drop the entry
+        while its bytes are still crossing PCIe, and the next acquire
+        would pay for the same copy twice.
+        """
         for layer in layers:
             entry = self._entries.get(layer)
-            if entry is None or entry.pins > 0:
+            if entry is None or entry.pins > 0 or entry.ready_at > now:
                 continue
             self._entries.pop(layer)
             self.resident_bytes -= entry.nbytes

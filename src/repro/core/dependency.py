@@ -22,18 +22,65 @@ direction.  The tracker is therefore the runtime's ground truth: the
 scheduler may use the cheap conservative filter, but a task only executes
 once the tracker agrees — the "checks whether the subnet context to be
 executed is ready ... for safety" step of paper §3.1.
+
+Readiness index
+---------------
+
+On top of the ground-truth user lists the tracker maintains an
+*incremental readiness index*: per scope (one scope per pipeline stage,
+keyed by anything hashable) it tracks, for every queued (subnet,
+stage-slice) pair, the exact set of unreleased ``(earlier user, layer)``
+edges still blocking it.  Releases update only the affected edges and a
+subnet whose edge set drains is promoted into a sorted ready list, so
+``first_ready`` is an O(1)-amortized pop rather than a queue rescan.  The
+index is decision-identical to scanning — ready membership is by
+construction ``is_clear(subnet, slice)`` — which the differential tests
+in ``tests/test_scheduler_equivalence.py`` enforce.
+
+:class:`ReadinessOverlay` gives the context predictor a copy-on-write
+view of one scope: "pretend these subnets finished" is answered by
+decrementing per-entry blocked counts lazily instead of re-scanning the
+user lists ``depth`` times per prediction.
 """
 
 from __future__ import annotations
 
-from bisect import insort
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SchedulingError
 from repro.nn.parameter_store import LayerId
 from repro.supernet.subnet import Subnet
 
-__all__ = ["DependencyTracker"]
+__all__ = ["DependencyTracker", "ReadinessOverlay"]
+
+#: one blocking edge: an earlier user that has not released a layer yet
+_Edge = Tuple[int, LayerId]
+#: one indexed entry: (scope key, waiting subnet id)
+_Entry = Tuple[Hashable, int]
+
+
+class _ScopeIndex:
+    """Readiness bookkeeping for one scope (one stage's forward queue)."""
+
+    __slots__ = ("layers", "blocked", "ready")
+
+    def __init__(self) -> None:
+        #: tracked stage-slice per indexed subnet
+        self.layers: Dict[int, List[LayerId]] = {}
+        #: unreleased blocking edges per indexed subnet
+        self.blocked: Dict[int, Set[_Edge]] = {}
+        #: sorted ids whose edge set is empty (CSP-clear right now)
+        self.ready: List[int] = []
+
+
+def _sorted_remove(values: List[int], value: int) -> bool:
+    """Remove ``value`` from a sorted list; True when it was present."""
+    pos = bisect_left(values, value)
+    if pos < len(values) and values[pos] == value:
+        values.pop(pos)
+        return True
+    return False
 
 
 class DependencyTracker:
@@ -46,6 +93,20 @@ class DependencyTracker:
         self._finished: Set[int] = set()
         #: all subnet ids < frontier are finished and eliminated
         self.frontier: int = 0
+        #: per-layer users that have *not* released it yet (sorted); unlike
+        #: ``_users`` this shrinks at release time, not elimination time,
+        #: so index maintenance never walks the finished-but-uneliminated
+        #: tail a straggler pins in place.
+        self._unreleased: Dict[LayerId, List[int]] = {}
+        # --- readiness index state ------------------------------------
+        self._scopes: Dict[Hashable, _ScopeIndex] = {}
+        #: (user, layer) -> indexed entries blocked on that edge
+        self._waiters: Dict[_Edge, Set[_Entry]] = {}
+        #: layer -> indexed entries whose tracked slice contains it (used
+        #: to add edges when an *earlier* subnet registers late)
+        self._watchers: Dict[LayerId, Set[_Entry]] = {}
+        #: cumulative incremental edge updates (profiling counter)
+        self.index_edge_updates: int = 0
 
     # ------------------------------------------------------------------
     # registration / lifecycle
@@ -58,16 +119,25 @@ class DependencyTracker:
         self._released[subnet.subnet_id] = set()
         for layer in subnet.layer_ids():
             insort(self._users.setdefault(layer, []), subnet.subnet_id)
+            insort(self._unreleased.setdefault(layer, []), subnet.subnet_id)
+            watchers = self._watchers.get(layer)
+            if watchers:
+                # A subnet registering out of sequence order blocks any
+                # already-indexed later entry sharing this layer.
+                for scope_key, waiting in list(watchers):
+                    if waiting > subnet.subnet_id:
+                        self._add_edge(
+                            scope_key, waiting, subnet.subnet_id, layer
+                        )
 
     def is_registered(self, subnet_id: int) -> bool:
         return subnet_id in self._subnets or subnet_id < self.frontier
 
     def release_layers(self, subnet_id: int, layers: Iterable[LayerId]) -> None:
         """Record that ``subnet_id``'s WRITE on ``layers`` has committed."""
-        released = self._released.get(subnet_id)
-        if released is None:
+        if subnet_id not in self._released:
             raise SchedulingError(f"release for unregistered subnet {subnet_id}")
-        released.update(layers)
+        self._commit_release(subnet_id, layers)
 
     def mark_finished(self, subnet_id: int) -> None:
         """Mark a subnet fully done (all writes committed) and advance
@@ -75,9 +145,34 @@ class DependencyTracker:
         if subnet_id not in self._subnets:
             raise SchedulingError(f"finish for unregistered subnet {subnet_id}")
         subnet = self._subnets[subnet_id]
-        self._released[subnet_id].update(subnet.layer_ids())
+        self._commit_release(subnet_id, subnet.layer_ids())
         self._finished.add(subnet_id)
         self._advance_frontier()
+
+    def _commit_release(
+        self, subnet_id: int, layers: Iterable[LayerId]
+    ) -> None:
+        """Apply newly released layers and drain the affected edges."""
+        released = self._released[subnet_id]
+        for layer in layers:
+            if layer in released:
+                continue
+            released.add(layer)
+            unreleased = self._unreleased.get(layer)
+            if unreleased is not None and _sorted_remove(unreleased, subnet_id):
+                if not unreleased:
+                    del self._unreleased[layer]
+            for scope_key, waiting in self._waiters.pop((subnet_id, layer), ()):
+                scope = self._scopes.get(scope_key)
+                if scope is None:
+                    continue
+                edges = scope.blocked.get(waiting)
+                if edges is None:
+                    continue
+                edges.discard((subnet_id, layer))
+                self.index_edge_updates += 1
+                if not edges:
+                    insort(scope.ready, waiting)
 
     def _advance_frontier(self) -> None:
         while self.frontier in self._finished:
@@ -94,6 +189,113 @@ class DependencyTracker:
                 users.pop(0)
                 if not users:
                     del self._users[layer]
+
+    # ------------------------------------------------------------------
+    # readiness index
+    # ------------------------------------------------------------------
+    def _add_edge(
+        self, scope_key: Hashable, waiting: int, user: int, layer: LayerId
+    ) -> None:
+        scope = self._scopes[scope_key]
+        edges = scope.blocked[waiting]
+        if (user, layer) in edges:
+            return
+        if not edges:
+            _sorted_remove(scope.ready, waiting)
+        edges.add((user, layer))
+        self._waiters.setdefault((user, layer), set()).add((scope_key, waiting))
+        self.index_edge_updates += 1
+
+    def index_add(
+        self, scope_key: Hashable, subnet_id: int, layers: Iterable[LayerId]
+    ) -> None:
+        """Start tracking readiness of ``subnet_id``'s stage slice.
+
+        Cost is O(slice layers × currently-unreleased earlier users) —
+        the one-time scan a queue rescan would otherwise repeat on every
+        scheduler call.  Re-adding an id replaces its tracked slice.
+        """
+        scope = self._scopes.setdefault(scope_key, _ScopeIndex())
+        if subnet_id in scope.layers:
+            self.index_discard(scope_key, subnet_id)
+        layer_list = list(layers)
+        scope.layers[subnet_id] = layer_list
+        edges: Set[_Edge] = set()
+        entry = (scope_key, subnet_id)
+        for layer in layer_list:
+            self._watchers.setdefault(layer, set()).add(entry)
+            for user in self._unreleased.get(layer, ()):
+                if user >= subnet_id:
+                    break  # sorted; no earlier unreleased users left
+                edges.add((user, layer))
+                self._waiters.setdefault((user, layer), set()).add(entry)
+        scope.blocked[subnet_id] = edges
+        self.index_edge_updates += len(edges)
+        if not edges:
+            insort(scope.ready, subnet_id)
+
+    def index_discard(self, scope_key: Hashable, subnet_id: int) -> None:
+        """Stop tracking ``subnet_id`` under ``scope_key`` (queue pop)."""
+        scope = self._scopes.get(scope_key)
+        if scope is None:
+            return
+        layer_list = scope.layers.pop(subnet_id, None)
+        if layer_list is None:
+            return
+        entry = (scope_key, subnet_id)
+        for layer in layer_list:
+            watchers = self._watchers.get(layer)
+            if watchers is not None:
+                watchers.discard(entry)
+                if not watchers:
+                    del self._watchers[layer]
+        for edge in scope.blocked.pop(subnet_id, ()):
+            waiters = self._waiters.get(edge)
+            if waiters is not None:
+                waiters.discard(entry)
+                if not waiters:
+                    del self._waiters[edge]
+        _sorted_remove(scope.ready, subnet_id)
+
+    def has_scope(self, scope_key: Hashable) -> bool:
+        return scope_key in self._scopes
+
+    def is_indexed(self, scope_key: Hashable, subnet_id: int) -> bool:
+        scope = self._scopes.get(scope_key)
+        return scope is not None and subnet_id in scope.layers
+
+    def indexed_ids(self, scope_key: Hashable) -> List[int]:
+        scope = self._scopes.get(scope_key)
+        return sorted(scope.layers) if scope is not None else []
+
+    def ready_ids(self, scope_key: Hashable) -> List[int]:
+        """Sorted CSP-clear subnet ids tracked under ``scope_key``."""
+        scope = self._scopes.get(scope_key)
+        return list(scope.ready) if scope is not None else []
+
+    def first_ready(
+        self, scope_key: Hashable, skip: Optional[Set[int]] = None
+    ) -> Optional[int]:
+        """Lowest ready id not in ``skip`` — the scheduler's O(1) pop."""
+        scope = self._scopes.get(scope_key)
+        if scope is None:
+            return None
+        if not skip:
+            return scope.ready[0] if scope.ready else None
+        for subnet_id in scope.ready:
+            if subnet_id not in skip:
+                return subnet_id
+        return None
+
+    def blocked_edge_count(self, scope_key: Hashable, subnet_id: int) -> int:
+        scope = self._scopes.get(scope_key)
+        if scope is None or subnet_id not in scope.blocked:
+            return 0
+        return len(scope.blocked[subnet_id])
+
+    def overlay(self, scope_key: Hashable) -> "ReadinessOverlay":
+        """A copy-on-write hypothetical view of one scope's readiness."""
+        return ReadinessOverlay(self, scope_key)
 
     # ------------------------------------------------------------------
     # queries
@@ -138,3 +340,72 @@ class DependencyTracker:
 
     def layer_users(self, layer: LayerId) -> List[int]:
         return list(self._users.get(layer, ()))
+
+    def unreleased_users(self, layer: LayerId) -> List[int]:
+        return list(self._unreleased.get(layer, ()))
+
+
+class ReadinessOverlay:
+    """Hypothetical readiness: base index + "assume these finished".
+
+    The predictor's lookahead (Algorithm 3) asks "if subnets X finished,
+    which queued forward clears next?" up to ``depth`` times.  Instead of
+    re-scanning user lists, the overlay copies the scope's sorted ready
+    list and lazily materialises per-entry blocked *counts* only for
+    entries an assumed subnet actually blocks — copy-on-write over the
+    live index, which stays untouched.
+    """
+
+    def __init__(self, tracker: DependencyTracker, scope_key: Hashable) -> None:
+        scope = tracker._scopes.get(scope_key)
+        if scope is None:
+            raise SchedulingError(f"no readiness scope {scope_key!r}")
+        self._tracker = tracker
+        self._scope = scope
+        self._scope_key = scope_key
+        self._ready: List[int] = list(scope.ready)
+        self._counts: Dict[int, int] = {}
+        self._assumed: Set[int] = set()
+
+    def assume_released(self, subnet_id: int) -> None:
+        """Treat every layer of ``subnet_id`` as released (hypothetically)."""
+        if subnet_id in self._assumed:
+            return
+        self._assumed.add(subnet_id)
+        subnet = self._tracker._subnets.get(subnet_id)
+        if subnet is None:
+            return  # finished or never registered: blocks nothing
+        decrements: Dict[int, int] = {}
+        for layer in subnet.layer_ids():
+            for scope_key, waiting in self._tracker._waiters.get(
+                (subnet_id, layer), ()
+            ):
+                if scope_key == self._scope_key:
+                    decrements[waiting] = decrements.get(waiting, 0) + 1
+        for waiting, dec in decrements.items():
+            count = self._counts.get(waiting)
+            if count is None:
+                count = len(self._scope.blocked[waiting])
+            count -= dec
+            self._counts[waiting] = count
+            if count == 0:
+                insort(self._ready, waiting)
+
+    def is_clear(self, subnet_id: int) -> bool:
+        count = self._counts.get(subnet_id)
+        if count is not None:
+            return count == 0
+        edges = self._scope.blocked.get(subnet_id)
+        if edges is None:
+            raise SchedulingError(
+                f"subnet {subnet_id} not indexed under {self._scope_key!r}"
+            )
+        return not edges
+
+    def first_clear(self, skip: Optional[Set[int]] = None) -> Optional[int]:
+        """Lowest hypothetically-clear indexed id not in ``skip``."""
+        for subnet_id in self._ready:
+            if skip and subnet_id in skip:
+                continue
+            return subnet_id
+        return None

@@ -70,8 +70,50 @@ class ContextPredictor:
         skip: Set[int],
     ) -> List[int]:
         """Re-run SCHEDULE() up to ``depth`` times against hypothetical
-        state: subnets in ``assume_released`` are treated as finished."""
+        state: subnets in ``assume_released`` are treated as finished.
 
+        When the tracker carries a readiness-index scope for this stage
+        (the CSP policy's ``index`` scheduler mode), the lookahead is a
+        copy-on-write :class:`~repro.core.dependency.ReadinessOverlay`
+        over that index — O(affected edges) per assumed subnet instead of
+        ``depth`` fresh scans of the per-layer user lists.  Otherwise the
+        scan fallback below reproduces the original behaviour.
+        """
+        if tracker.has_scope(self.stage):
+            return self._chain_forwards_indexed(
+                tracker, assume_released, skip
+            )
+        return self._chain_forwards_scan(queue, tracker, assume_released, skip)
+
+    def _chain_forwards_indexed(
+        self,
+        tracker: DependencyTracker,
+        assume_released: Set[int],
+        skip: Set[int],
+    ) -> List[int]:
+        overlay = tracker.overlay(self.stage)
+        for subnet_id in sorted(assume_released):
+            overlay.assume_released(subnet_id)
+        picks: List[int] = []
+        local_skip = set(skip)
+        for _ in range(self.depth):
+            chosen = overlay.first_clear(skip=local_skip)
+            if chosen is None:
+                break
+            picks.append(chosen)
+            local_skip.add(chosen)
+            # Assume the pick runs to completion before the next forecast
+            # step — optimistic, but that is exactly the paper's heuristic.
+            overlay.assume_released(chosen)
+        return picks
+
+    def _chain_forwards_scan(
+        self,
+        queue: Sequence[int],
+        tracker: DependencyTracker,
+        assume_released: Set[int],
+        skip: Set[int],
+    ) -> List[int]:
         def layers_clear(subnet_id: int) -> bool:
             for layer in self.stage_layers_of(subnet_id):
                 for user in tracker.layer_users(layer):

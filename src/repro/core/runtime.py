@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import SchedulingError
 from repro.supernet.subnet import Subnet
@@ -37,8 +37,30 @@ class CspStageState:
     known: Dict[int, Subnet] = field(default_factory=dict)
     #: subnets whose forward ran here and whose backward has not yet
     busy_subnets: Set[int] = field(default_factory=set)
+    #: queue observers — the CSP policy's readiness index mirrors the
+    #: forward queue through these callbacks (None = nobody listening)
+    on_enqueue: Optional[Callable[[int], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    on_pop: Optional[Callable[[int], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
+    def attach_queue_observer(
+        self,
+        on_enqueue: Callable[[int], None],
+        on_pop: Callable[[int], None],
+    ) -> None:
+        """Subscribe to forward-queue membership changes.
+
+        The observer sees every id *after* it entered the queue and
+        *after* it left, so an index maintained from these callbacks is
+        always an exact mirror of ``queue``.
+        """
+        self.on_enqueue = on_enqueue
+        self.on_pop = on_pop
+
     def retrieve(self, subnet: Subnet) -> None:
         """L_SN.append(retrieve()) — learn a subnet descriptor."""
         self.known[subnet.subnet_id] = subnet
@@ -50,6 +72,8 @@ class CspStageState:
                 f"stage {self.stage}: duplicate forward arrival for {subnet_id}"
             )
         insort(self.queue, subnet_id)
+        if self.on_enqueue is not None:
+            self.on_enqueue(subnet_id)
 
     def pop_forward(self, subnet_id: int) -> None:
         """L_q.pop(qidx) after the scheduler picked ``subnet_id``."""
@@ -60,6 +84,8 @@ class CspStageState:
                 f"stage {self.stage}: scheduled {subnet_id} not in queue"
             ) from None
         self.busy_subnets.add(subnet_id)
+        if self.on_pop is not None:
+            self.on_pop(subnet_id)
 
     def enqueue_backward(self, subnet_id: int) -> None:
         """A backward input arrived (receiveBwd / last-stage loss)."""

@@ -84,6 +84,11 @@ class PipelineResult:
     #: worst per-stage cached parameter footprint observed (bytes);
     #: None for full-context systems.
     peak_cache_bytes: Optional[int] = None
+    #: scheduler cost accounting (CSP systems; empty/zero otherwise)
+    scheduler_mode: str = ""
+    scheduler_scans: int = 0
+    scheduler_ready_pops: int = 0
+    scheduler_mean_call_us: float = 0.0
 
     def summary(self) -> str:
         hit = (
@@ -140,13 +145,15 @@ class PipelineEngine:
         self.event_listener = event_listener
         self.functional = functional
         self.policy = make_policy(config, self.stages)
-        self.policy.bind(self)
 
         self.stage_states: List[CspStageState] = [
             CspStageState(stage) for stage in range(self.stages)
         ]
         self._stage_busy: List[bool] = [False] * self.stages
         self._last_was_backward: List[bool] = [False] * self.stages
+        # Bind after the stage states exist: policies that mirror the
+        # forward queues (CSP's readiness index) subscribe to them here.
+        self.policy.bind(self)
         self.runs: Dict[int, _SubnetRun] = {}
         self.inflight: Set[int] = set()
         self.started: Set[int] = set()
@@ -614,6 +621,12 @@ class PipelineEngine:
                 self.mirror_registry.push_bytes_total if self.mirror_registry else 0
             ),
             scheduler_calls=scheduler.calls if scheduler else 0,
+            scheduler_mode=scheduler.mode if scheduler else "",
+            scheduler_scans=scheduler.scans if scheduler else 0,
+            scheduler_ready_pops=scheduler.ready_pops if scheduler else 0,
+            scheduler_mean_call_us=(
+                scheduler.mean_call_time_s * 1e6 if scheduler else 0.0
+            ),
             oom_retries=self.oom_retries,
             peak_cache_bytes=(
                 max(c.peak_resident_bytes for c in self.contexts)

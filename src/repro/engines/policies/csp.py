@@ -45,6 +45,31 @@ class CspPolicy(SyncPolicy):
                 )
                 for stage in range(self.stages)
             ]
+        if self.scheduler.uses_index:
+            # Mirror each stage's forward queue into the tracker's
+            # readiness index: enqueue indexes the (subnet, stage-slice)
+            # pair, pop retires it.  All blocked-edge maintenance then
+            # rides the release path inside the tracker.
+            for state in engine.stage_states:
+                state.attach_queue_observer(
+                    self._index_enqueue_fn(state.stage),
+                    self._index_pop_fn(state.stage),
+                )
+
+    def _index_enqueue_fn(self, stage: int) -> Callable[[int], None]:
+        def on_enqueue(subnet_id: int) -> None:
+            assert self.engine is not None
+            self.tracker.index_add(
+                stage, subnet_id, self.engine.stage_layers(subnet_id, stage)
+            )
+
+        return on_enqueue
+
+    def _index_pop_fn(self, stage: int) -> Callable[[int], None]:
+        def on_pop(subnet_id: int) -> None:
+            self.tracker.index_discard(stage, subnet_id)
+
+        return on_pop
 
     # ------------------------------------------------------------------
     def _stage_layers_fn(self, stage: int) -> Callable[[int], Sequence[LayerId]]:
@@ -107,6 +132,7 @@ class CspPolicy(SyncPolicy):
                 stage_finished=state.stage_finished,
                 subnet_of=state.subnet,
                 skip=skip,
+                scope=stage,
             )
             if not decision.found:
                 return None

@@ -38,9 +38,10 @@ class GpuDevice:
     def free_bytes(self) -> int:
         return self.memory_capacity - self.reserved_bytes - self.resident_bytes
 
-    @property
-    def is_busy(self) -> bool:
-        return True  # placeholder; engine tracks busy via busy_until
+    def is_busy(self, now: float) -> bool:
+        """Whether compute is occupied at ``now`` (serial device, so any
+        task started before ``busy_until`` blocks the next one)."""
+        return self.busy_until > now
 
     def can_fit(self, nbytes: int) -> bool:
         return nbytes <= self.free_bytes

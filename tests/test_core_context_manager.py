@@ -98,6 +98,34 @@ def test_hit_rate_and_trace_integration(tiny_supernet):
     assert trace.cache_hits == 2 and trace.cache_misses == 2
 
 
+def test_evict_subnet_skips_in_flight_prefetch(manager):
+    # EVICT arriving while the prefetch copy is still crossing PCIe must
+    # not drop the entry — otherwise the next acquire pays the copy twice.
+    ready = manager.prefetch([(0, 0)], now=0.0)
+    fetched_once = manager.fetch_bytes
+    manager.evict_subnet([(0, 0)], now=0.0)  # copy not landed yet
+    assert manager.is_resident((0, 0), now=ready)
+    plan = manager.acquire_for_task([(0, 0)], now=ready)
+    assert plan.is_hit
+    # Single-fetch accounting: one copy ever issued, bytes charged once.
+    assert manager.fetch_bytes == fetched_once
+    assert manager.copy_engine.total_copies == 1
+    # Once the copy has landed (and the layer is unpinned), EVICT works.
+    manager.release_after_task([(0, 0)], now=plan.ready_time, dirty=False)
+    manager.evict_subnet([(0, 0)], now=plan.ready_time)
+    assert not manager.is_resident((0, 0), now=plan.ready_time + 1000)
+
+
+def test_acquire_fetched_bytes_excludes_in_flight_prefetch(manager, tiny_supernet):
+    # fetched_bytes counts only copies started by the acquire itself;
+    # a miss on a still-in-flight prefetch stalls but re-pays nothing.
+    manager.prefetch([(0, 0)], now=0.0)
+    plan = manager.acquire_for_task([(0, 0), (1, 0)], now=0.0)
+    assert plan.misses == 2
+    assert plan.fetched_bytes == _layer_bytes(tiny_supernet, (1, 0))
+    assert manager.copy_engine.total_copies == 2
+
+
 def test_oversized_working_set_tolerated(tiny_supernet):
     engine = CopyEngine(0, 1_000_000.0)
     tiny_capacity = 1  # smaller than any layer

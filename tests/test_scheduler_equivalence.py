@@ -1,0 +1,175 @@
+"""Readiness index ≡ scan reference, property-fuzzed (differential tests).
+
+The incremental readiness index is an optimisation over the rescanning
+reference scheduler, never a semantic change.  Three layers of evidence:
+
+1. decision-level: both modes driven over the same randomized stream
+   emit the identical ``(qidx, qval)`` sequence;
+2. structural: under random register/index/release/finish interleavings,
+   the index's ready set always equals the brute-force recomputation
+   from :meth:`DependencyTracker.is_clear`;
+3. end-to-end: full pipeline runs under ``scheduler_mode="scan"`` and
+   ``"index"`` produce the identical event sequence and the identical
+   final-parameter digest through the functional plane.
+
+The engine-level tests must build both runs from the *same* space name —
+the name seeds sampling and initialisation, so differing names would
+compare different streams, not different schedulers.
+"""
+
+from random import Random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import naspipe
+from repro.core.dependency import DependencyTracker
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine
+from repro.profiling import profile_scheduler_stream
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import get_search_space
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+SCOPE = 0
+
+
+# ----------------------------------------------------------------------
+# 1. decision-level differential over synthetic streams
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_subnets=st.integers(5, 80),
+    queue_cap=st.integers(2, 12),
+    inflight_cap=st.integers(1, 5),
+    straggler=st.booleans(),
+)
+def test_index_and_scan_make_identical_decisions(
+    seed, num_subnets, queue_cap, inflight_cap, straggler
+):
+    profiles = [
+        profile_scheduler_stream(
+            mode,
+            num_subnets,
+            queue_cap=queue_cap,
+            inflight_cap=inflight_cap,
+            seed=seed,
+            straggler=straggler,
+        )
+        for mode in ("scan", "index")
+    ]
+    assert profiles[0].decisions == profiles[1].decisions
+    assert profiles[0].calls == profiles[1].calls
+
+
+# ----------------------------------------------------------------------
+# 2. structural: ready set == brute-force recomputation, any interleaving
+# ----------------------------------------------------------------------
+def _assert_ready_set_exact(tracker, layers_of):
+    ready = set(tracker.ready_ids(SCOPE))
+    expected = {
+        sid
+        for sid in tracker.indexed_ids(SCOPE)
+        if tracker.is_clear(sid, layers_of[sid])
+    }
+    assert ready == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_subnets=st.integers(3, 24),
+    num_blocks=st.integers(2, 8),
+    num_choices=st.integers(2, 5),
+)
+def test_ready_set_matches_brute_force_under_random_ops(
+    seed, num_subnets, num_blocks, num_choices
+):
+    rng = Random(seed)
+    subnets = [
+        Subnet(i, tuple(rng.randrange(num_choices) for _ in range(num_blocks)))
+        for i in range(num_subnets)
+    ]
+    slice_stop = max(1, num_blocks // 2)
+    layers_of = {
+        s.subnet_id: s.layers_in_range(0, slice_stop) for s in subnets
+    }
+
+    tracker = DependencyTracker()
+    registered = []
+    indexed = set()
+    released = []
+    for _ in range(num_subnets * 4):
+        op = rng.randrange(4)
+        if op == 0 and len(registered) < num_subnets:
+            subnet = subnets[len(registered)]
+            tracker.register(subnet)
+            registered.append(subnet.subnet_id)
+        elif op == 1 and registered:
+            # Index a random registered subnet (re-adds are allowed).
+            sid = rng.choice(registered)
+            tracker.index_add(SCOPE, sid, layers_of[sid])
+            indexed.add(sid)
+        elif op == 2 and indexed and rng.random() < 0.5:
+            sid = rng.choice(sorted(indexed))
+            tracker.index_discard(SCOPE, sid)
+            indexed.discard(sid)
+        elif registered:
+            # Release or finish a random subnet not yet finished.
+            pending = [s for s in registered if s not in released]
+            if not pending:
+                continue
+            sid = rng.choice(pending)
+            if rng.random() < 0.5:
+                tracker.release_layers(sid, subnets[sid].layer_ids())
+            else:
+                tracker.mark_finished(sid)
+                released.append(sid)
+        if tracker.has_scope(SCOPE):
+            _assert_ready_set_exact(tracker, layers_of)
+
+
+# ----------------------------------------------------------------------
+# 3. end-to-end: identical events and identical parameter digests
+# ----------------------------------------------------------------------
+def _run_mode(mode: str, seed: int, gpus: int):
+    # Identical space *name* across modes: the name seeds sampling, so a
+    # differing name would compare different streams (false divergence).
+    space = get_search_space("NLP.c3").scaled(
+        name=f"equiv-{seed}", num_blocks=12, functional_width=16
+    )
+    supernet = Supernet(space)
+    seeds = SeedSequenceTree(seed)
+    stream = SubnetStream.sample(space, seeds, 12)
+    plane = FunctionalPlane(supernet, seeds, functional_batch=6)
+    events = []
+    engine = PipelineEngine(
+        supernet,
+        stream,
+        naspipe().with_overrides(scheduler_mode=mode),
+        ClusterSpec(num_gpus=gpus),
+        batch=32,
+        functional=plane,
+        event_listener=lambda *event: events.append(event),
+    )
+    result = engine.run()
+    return result, events
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 2**16 - 1),
+    gpus=st.sampled_from([2, 4]),
+)
+def test_pipeline_digest_identical_across_modes(seed, gpus):
+    scan_result, scan_events = _run_mode("scan", seed, gpus)
+    index_result, index_events = _run_mode("index", seed, gpus)
+    assert scan_result.scheduler_mode == "scan"
+    assert index_result.scheduler_mode == "index"
+    assert index_result.scheduler_ready_pops > 0
+    assert scan_events == index_events
+    assert scan_result.digest == index_result.digest
+    assert scan_result.trace.makespan == index_result.trace.makespan

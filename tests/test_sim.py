@@ -110,6 +110,16 @@ def test_gpu_memory_ledger():
     gpu.allocate("b", 900)
 
 
+def test_gpu_is_busy_tracks_busy_until():
+    gpu = GpuDevice(gpu_id=0, memory_capacity=1000)
+    assert not gpu.is_busy(0.0)
+    gpu.busy_until = 5.0
+    assert gpu.is_busy(0.0)
+    assert gpu.is_busy(4.999)
+    assert not gpu.is_busy(5.0)  # free exactly when the task ends
+    assert not gpu.is_busy(6.0)
+
+
 def test_copy_engine_fifo_queueing():
     engine = CopyEngine(gpu_id=0, bandwidth_bytes_per_ms=100.0)
     first = engine.enqueue(1000, now=0.0)  # 10 ms
