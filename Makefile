@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler experiments repro-check demo clean
+.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,6 +26,10 @@ repro-check:
 
 demo:
 	python -m repro demo
+
+trace-demo:
+	python -m repro trace examples/trace_demo.json \
+		--out trace_demo.trace.json --summary
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

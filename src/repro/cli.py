@@ -150,6 +150,59 @@ def _run_one(name: str, args) -> str:
     raise SystemExit(f"unknown experiment {name!r}")
 
 
+def _trace(args) -> str:
+    """``naspipe trace <config>``: run one configured pipeline schedule,
+    export it as Chrome Trace Event JSON (Perfetto-loadable) and print
+    where to view it; ``--summary`` adds the bubble-attribution report.
+
+    The config is a small JSON object, e.g. ``examples/trace_demo.json``::
+
+        {"space": "NLP.c3", "system": "NASPipe", "num_gpus": 4,
+         "subnets": 24, "batch": 32, "seed": 2022}
+
+    ``system`` accepts any :func:`repro.baselines.system_by_name` name;
+    extra keys under ``"overrides"`` are forwarded to it (e.g.
+    ``{"overrides": {"cache_capacity_mb": 64}}``).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments.common import ExperimentScale, run_system
+    from repro.obs import format_summary, run_summary
+
+    config_path = Path(args.config)
+    config = json.loads(config_path.read_text())
+    scale = ExperimentScale(
+        subnets=int(config.get("subnets", 24)),
+        num_gpus=int(config.get("num_gpus", 4)),
+        seed=int(config.get("seed", args.seed)),
+        stream_kind=config.get("stream_kind", "generational"),
+    )
+    result = run_system(
+        config.get("space", "NLP.c3"),
+        config.get("system", "NASPipe"),
+        scale,
+        batch=config.get("batch"),
+        **config.get("overrides", {}),
+    )
+    if result is None:
+        raise SystemExit(
+            f"{config.get('system')} ran out of memory on "
+            f"{config.get('space')} — no schedule to trace"
+        )
+    out = Path(args.out or "run.trace.json")
+    result.trace_export(path=out, label=config.get("label", config_path.stem))
+    lines = [
+        f"wrote {out} ({out.stat().st_size} bytes, "
+        f"{len(result.trace.events)} typed events) — "
+        "open in https://ui.perfetto.dev or chrome://tracing",
+    ]
+    if args.summary:
+        lines.append("")
+        lines.append(format_summary(run_summary(result)))
+    return "\n".join(lines)
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -243,8 +296,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("all", "list"),
-        help="which table/figure to regenerate",
+        choices=_EXPERIMENTS + ("trace", "all", "list"),
+        help="which table/figure to regenerate (or 'trace' to export a "
+        "Perfetto-compatible run trace)",
+    )
+    parser.add_argument(
+        "config",
+        nargs="?",
+        help="trace: JSON run config (see examples/trace_demo.json)",
     )
     parser.add_argument(
         "--scale",
@@ -286,10 +345,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         help="scheduler-cost: stream lengths for the scaling benchmark",
     )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="trace: write the Chrome trace JSON here "
+        "(default run.trace.json)",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="trace: also print the bubble-attribution run summary",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(_EXPERIMENTS))
+        print("\n".join(_EXPERIMENTS + ("trace",)))
+        return 0
+
+    if args.experiment == "trace":
+        if not args.config:
+            parser.error("trace requires a JSON run config path")
+        print(_trace(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

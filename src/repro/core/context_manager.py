@@ -107,13 +107,37 @@ class StageContextManager:
                 continue
             self._entries.pop(layer)
             self.resident_bytes -= entry.nbytes
+            self._record_eviction(layer, entry, now, reason="lru")
             if entry.dirty:
                 # Write the updated parameters back to pinned CPU memory.
                 self.copy_engine.enqueue(entry.nbytes, now)
                 self.writeback_bytes += entry.nbytes
 
-    def _fetch(self, layer: LayerId, now: float) -> Tuple[float, int]:
-        """Start an async copy of ``layer``; returns (completion, nbytes)."""
+    def _record_eviction(
+        self, layer: LayerId, entry: _CacheEntry, now: float, reason: str
+    ) -> None:
+        if self.trace is not None:
+            self.trace.record_event(
+                "eviction",
+                now,
+                stage=self.stage,
+                block=layer[0],
+                choice=layer[1],
+                nbytes=entry.nbytes,
+                dirty=entry.dirty,
+                reason=reason,
+            )
+
+    def _fetch(
+        self, layer: LayerId, now: float, demand: bool = False
+    ) -> Tuple[float, int]:
+        """Start an async copy of ``layer``; returns (completion, nbytes).
+
+        ``demand`` marks copies started by a task's own acquire (miss on
+        the critical path) as opposed to predictor prefetches; the flag
+        only annotates the emitted ``prefetch_issue``/``prefetch_land``
+        events, the copy mechanics are identical.
+        """
         nbytes = self.supernet.profile(layer).param_bytes
         self._evict_for(nbytes, now)
         completion = self.copy_engine.enqueue(nbytes, now)
@@ -121,6 +145,26 @@ class StageContextManager:
         self.resident_bytes += nbytes
         self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
         self.fetch_bytes += nbytes
+        if self.trace is not None:
+            self.trace.record_event(
+                "prefetch_issue",
+                now,
+                stage=self.stage,
+                block=layer[0],
+                choice=layer[1],
+                nbytes=nbytes,
+                demand=demand,
+                land=completion,
+            )
+            self.trace.record_event(
+                "prefetch_land",
+                completion,
+                stage=self.stage,
+                block=layer[0],
+                choice=layer[1],
+                nbytes=nbytes,
+                demand=demand,
+            )
         return completion, nbytes
 
     # ------------------------------------------------------------------
@@ -167,7 +211,7 @@ class StageContextManager:
             else:
                 misses += 1
                 if entry is None:
-                    completion, nbytes = self._fetch(layer, now)
+                    completion, nbytes = self._fetch(layer, now, demand=True)
                     fetched += nbytes
                 else:
                     completion = entry.ready_at
@@ -179,6 +223,9 @@ class StageContextManager:
         if self.trace is not None:
             self.trace.record_cache_access(True, hits)
             self.trace.record_cache_access(False, misses)
+            self.trace.record_event(
+                "cache_access", now, stage=self.stage, hits=hits, misses=misses
+            )
         return FetchPlan(ready_time=ready, hits=hits, misses=misses, fetched_bytes=fetched)
 
     def release_after_task(
@@ -209,6 +256,7 @@ class StageContextManager:
                 continue
             self._entries.pop(layer)
             self.resident_bytes -= entry.nbytes
+            self._record_eviction(layer, entry, now, reason="evict")
             if entry.dirty:
                 self.copy_engine.enqueue(entry.nbytes, now)
                 self.writeback_bytes += entry.nbytes
@@ -233,6 +281,7 @@ class StageContextManager:
                 continue
             self._entries.pop(layer)
             self.resident_bytes -= entry.nbytes
+            self._record_eviction(layer, entry, now, reason="reclaim")
             if entry.dirty:
                 self.copy_engine.enqueue(entry.nbytes, now)
                 self.writeback_bytes += entry.nbytes

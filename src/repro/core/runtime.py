@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import SchedulingError
+from repro.sim.trace import ExecutionTrace
 from repro.supernet.subnet import Subnet
 
 __all__ = ["CspStageState"]
@@ -45,6 +46,26 @@ class CspStageState:
     on_pop: Optional[Callable[[int], None]] = field(
         default=None, repr=False, compare=False
     )
+    #: observability sink + virtual clock — when both are set, every
+    #: queue mutation emits a ``queue_depth`` counter sample so the
+    #: exporter can draw per-stage L_q / backward-ready depth tracks
+    trace: Optional[ExecutionTrace] = field(
+        default=None, repr=False, compare=False
+    )
+    clock: Optional[Callable[[], float]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    def _sample_depth(self) -> None:
+        if self.trace is not None and self.clock is not None:
+            self.trace.record_event(
+                "queue_depth",
+                self.clock(),
+                stage=self.stage,
+                fwd=len(self.queue),
+                bwd=len(self.backward_ready),
+            )
 
     # ------------------------------------------------------------------
     def attach_queue_observer(
@@ -72,6 +93,7 @@ class CspStageState:
                 f"stage {self.stage}: duplicate forward arrival for {subnet_id}"
             )
         insort(self.queue, subnet_id)
+        self._sample_depth()
         if self.on_enqueue is not None:
             self.on_enqueue(subnet_id)
 
@@ -84,6 +106,7 @@ class CspStageState:
                 f"stage {self.stage}: scheduled {subnet_id} not in queue"
             ) from None
         self.busy_subnets.add(subnet_id)
+        self._sample_depth()
         if self.on_pop is not None:
             self.on_pop(subnet_id)
 
@@ -94,12 +117,15 @@ class CspStageState:
                 f"stage {self.stage}: duplicate backward arrival for {subnet_id}"
             )
         insort(self.backward_ready, subnet_id)
+        self._sample_depth()
 
     def pop_backward(self) -> Optional[int]:
         """Lowest-ID ready backward, or None (backward-first priority)."""
         if not self.backward_ready:
             return None
-        return self.backward_ready.pop(0)
+        subnet_id = self.backward_ready.pop(0)
+        self._sample_depth()
+        return subnet_id
 
     def finish_backward(self, subnet_id: int, frontier: int) -> None:
         """flush + L_f.append, then prune ids below the global frontier."""

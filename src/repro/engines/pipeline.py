@@ -102,6 +102,36 @@ class PipelineResult:
             f"bubble={self.bubble_ratio:.2f} ALU={self.total_alu:.1f}x hit={hit}"
         )
 
+    # -- observability (repro.obs) -------------------------------------
+    def trace_export(self, path=None, label: Optional[str] = None) -> str:
+        """Chrome Trace Event Format JSON for this run (Perfetto /
+        ``chrome://tracing``); written to ``path`` when given.
+
+        Deterministic byte-for-byte: the same configuration always
+        exports the identical file (the trace of the trace is itself
+        reproducible).  See ``docs/TRACING.md`` for the track layout.
+        """
+        from repro.obs import export_chrome_trace
+
+        return export_chrome_trace(
+            self.trace,
+            path=path,
+            label=label or f"{self.system}/{self.space}",
+            system=self.system,
+            space=self.space,
+            batch=self.batch,
+        )
+
+    def trace_summary(self):
+        """Deterministic run summary dict with per-stage bubble
+        attribution (startup / csp-wait / fetch-stall / drain); the
+        attribution means sum to :meth:`ExecutionTrace.bubble_ratio`
+        within 1e-9.  Render with :func:`repro.obs.format_summary`.
+        """
+        from repro.obs import run_summary
+
+        return run_summary(self)
+
 
 class PipelineEngine:
     """Runs one (system, space, cluster, stream) combination."""
@@ -137,8 +167,8 @@ class PipelineEngine:
                 )
         self.batch = batch
 
-        self.sim = SimulationEngine()
         self.trace = ExecutionTrace(num_gpus=self.stages)
+        self.sim = SimulationEngine(trace=self.trace)
         #: optional callback(kind, stage, subnet_id, virtual_time_ms) fired
         #: on task starts/finishes and subnet completions — the hook for
         #: live monitors, progress bars, or custom trace sinks.
@@ -147,7 +177,8 @@ class PipelineEngine:
         self.policy = make_policy(config, self.stages)
 
         self.stage_states: List[CspStageState] = [
-            CspStageState(stage) for stage in range(self.stages)
+            CspStageState(stage, trace=self.trace, clock=lambda: self.sim.now)
+            for stage in range(self.stages)
         ]
         self._stage_busy: List[bool] = [False] * self.stages
         self._last_was_backward: List[bool] = [False] * self.stages
@@ -245,6 +276,7 @@ class PipelineEngine:
                 run.boundary_in[0] = self.functional.input_for(subnet)
             self.policy.on_injected(subnet.subnet_id)
             sid = subnet.subnet_id
+            self.trace.record_event("subnet_inject", self.sim.now, subnet_id=sid)
             self.sim.schedule_after(
                 0.0, lambda sid=sid: self._on_forward_arrival(0, sid),
                 label=f"inject SN{sid}",
@@ -328,6 +360,9 @@ class PipelineEngine:
         if delay:
             self.migration_ms_total += delay
             self.trace.record_interval(stage, now, now + delay, "stall", -1)
+            self.trace.record_event(
+                "migration", now, stage=stage, delay_ms=delay
+            )
         return delay
 
     def _task_duration_ms(self, subnet_id: int, stage: int, is_backward: bool) -> float:
@@ -371,6 +406,14 @@ class PipelineEngine:
             self.contexts[stage].reclaim(now)
             retry_at = now + self.OOM_RETRY_PENALTY_MS
             self.trace.record_interval(stage, now, retry_at, "stall", subnet_id)
+            self.trace.record_event(
+                "oom_retry",
+                now,
+                stage=stage,
+                subnet_id=subnet_id,
+                penalty_ms=self.OOM_RETRY_PENALTY_MS,
+                retry_at=retry_at,
+            )
             self.sim.schedule(
                 retry_at,
                 lambda: self._begin_task(
@@ -388,6 +431,14 @@ class PipelineEngine:
                 # Synchronous swap-in: the GPU idles until the copy lands.
                 self.trace.record_interval(
                     stage, start, plan.ready_time, "stall", subnet_id
+                )
+                self.trace.record_event(
+                    "fetch_stall",
+                    start,
+                    stage=stage,
+                    subnet_id=subnet_id,
+                    wait_ms=plan.ready_time - start,
+                    misses=plan.misses,
                 )
                 start = plan.ready_time
         self.policy.before_task(stage, subnet_id, is_backward)
@@ -407,6 +458,15 @@ class PipelineEngine:
         self._last_was_backward[stage] = is_backward
         kind = "bwd" if is_backward else "fwd"
         self.trace.record_interval(stage, start, start + duration, kind, subnet_id)
+        self.trace.record_event(
+            "task_dispatch",
+            now,
+            stage=stage,
+            subnet_id=subnet_id,
+            direction=kind,
+            start=start,
+            end=start + duration,
+        )
         self._emit(f"{kind}-start", stage, subnet_id, start)
         self.sim.schedule(
             start + duration,
@@ -423,6 +483,13 @@ class PipelineEngine:
     # ------------------------------------------------------------------
     def _on_task_done(self, stage: int, subnet_id: int, is_backward: bool) -> None:
         self._stage_busy[stage] = False
+        self.trace.record_event(
+            "task_done",
+            self.sim.now,
+            stage=stage,
+            subnet_id=subnet_id,
+            direction="bwd" if is_backward else "fwd",
+        )
         self._emit(
             "bwd-done" if is_backward else "fwd-done",
             stage,
@@ -476,8 +543,18 @@ class PipelineEngine:
         if stage < self.stages - 1:
             if self.functional is not None:
                 run.boundary_in[stage + 1] = run.activations[stage].stage_output
-            arrival = self.cluster.forward_link(stage).transfer(
-                self._boundary_bytes(subnet_id, stage), now
+            nbytes = self._boundary_bytes(subnet_id, stage)
+            arrival = self.cluster.forward_link(stage).transfer(nbytes, now)
+            self.trace.record_event(
+                "nic_transfer",
+                now,
+                stage=stage,
+                subnet_id=subnet_id,
+                src=stage,
+                dst=stage + 1,
+                nbytes=nbytes,
+                arrive=arrival,
+                direction="fwd",
             )
             self.sim.schedule(
                 arrival,
@@ -531,8 +608,18 @@ class PipelineEngine:
         self.policy.on_backward_done(stage, subnet_id)
 
         if stage > 0:
-            arrival = self.cluster.backward_link(stage).transfer(
-                self._boundary_bytes(subnet_id, stage - 1), now
+            nbytes = self._boundary_bytes(subnet_id, stage - 1)
+            arrival = self.cluster.backward_link(stage).transfer(nbytes, now)
+            self.trace.record_event(
+                "nic_transfer",
+                now,
+                stage=stage,
+                subnet_id=subnet_id,
+                src=stage,
+                dst=stage - 1,
+                nbytes=nbytes,
+                arrive=arrival,
+                direction="bwd",
             )
             self.sim.schedule(
                 arrival,

@@ -39,6 +39,10 @@ class SspPolicy(SyncPolicy):
     def __init__(self, config: SystemConfig, stages: int) -> None:
         super().__init__(config, stages)
         self.staleness = max(0, config.staleness)
+        #: last (stage, candidate) pair reported held, so the staleness
+        #: gate emits one observability event per distinct hold, not one
+        #: per scheduler poll
+        self._last_hold: dict = {}
 
     def select_forward(self, stage: int) -> Optional[int]:
         assert self.engine is not None
@@ -48,5 +52,20 @@ class SspPolicy(SyncPolicy):
         oldest_unfinished = self.engine.oldest_unfinished_subnet()
         candidate = queue[0]
         if candidate - oldest_unfinished > self.staleness:
+            if self._last_hold.get(stage) != candidate:
+                self._last_hold[stage] = candidate
+                # getattr: policy unit tests drive a bare fake engine
+                trace = getattr(self.engine, "trace", None)
+                sim = getattr(self.engine, "sim", None)
+                if trace is not None and sim is not None:
+                    trace.record_event(
+                        "staleness_hold",
+                        sim.now,
+                        stage=stage,
+                        subnet_id=candidate,
+                        oldest_unfinished=oldest_unfinished,
+                        staleness=self.staleness,
+                    )
             return None
+        self._last_hold.pop(stage, None)
         return candidate

@@ -12,7 +12,7 @@ its predictions into context-manager prefetches.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.config import SystemConfig
 from repro.core.dependency import DependencyTracker
@@ -32,6 +32,13 @@ class CspPolicy(SyncPolicy):
         self.tracker = DependencyTracker()
         self.scheduler = CspScheduler(mode=config.scheduler_mode)
         self._predictors: List[ContextPredictor] = []
+        #: per-stage open CSP wait (start time), for csp_wait_begin/end
+        #: observability events — a wait opens when the stage has queued
+        #: forwards but none is CSP-clear, and closes at the next
+        #: successful selection
+        self._wait_since: Dict[int, float] = {}
+        #: last emitted ready-set size per stage (counter dedup)
+        self._ready_size: Dict[int, int] = {}
 
     def bind(self, engine) -> None:
         super().bind(engine)
@@ -109,6 +116,60 @@ class CspPolicy(SyncPolicy):
         self.tracker.register(self.engine.subnet_of(subnet_id))
 
     def select_forward(self, stage: int) -> Optional[int]:
+        chosen = self._select_forward_inner(stage)
+        self._observe_selection(stage, chosen)
+        return chosen
+
+    # ------------------------------------------------------------------
+    # observability: CSP wait windows + ready-set counter samples
+    # ------------------------------------------------------------------
+    def _observe_selection(self, stage: int, chosen: Optional[int]) -> None:
+        assert self.engine is not None
+        # getattr: policy unit tests drive a bare fake engine with no
+        # trace/sim attached
+        trace = getattr(self.engine, "trace", None)
+        sim = getattr(self.engine, "sim", None)
+        if trace is None or sim is None:
+            return
+        now = sim.now
+        state = self.engine.stage_states[stage]
+        if self.scheduler.uses_index:
+            size = len(self.tracker.ready_ids(stage))
+            if self._ready_size.get(stage) != size:
+                self._ready_size[stage] = size
+                trace.record_event("ready_set", now, stage=stage, size=size)
+        if chosen is not None:
+            since = self._wait_since.pop(stage, None)
+            if since is not None:
+                trace.record_event(
+                    "csp_wait_end",
+                    now,
+                    stage=stage,
+                    subnet_id=chosen,
+                    waited_ms=now - since,
+                )
+            return
+        if not state.queue or stage in self._wait_since:
+            return
+        head = state.queue[0]
+        blocking = self.tracker.blocking_user(
+            head, self.engine.stage_layers(head, stage)
+        )
+        if blocking is None:
+            return  # held by the execution window, not by a dependency
+        user, layer = blocking
+        self._wait_since[stage] = now
+        trace.record_event(
+            "csp_wait_begin",
+            now,
+            stage=stage,
+            subnet_id=head,
+            blocking_subnet=user,
+            block=layer[0],
+            choice=layer[1],
+        )
+
+    def _select_forward_inner(self, stage: int) -> Optional[int]:
         assert self.engine is not None
         state = self.engine.stage_states[stage]
         if stage == 0 and not self.can_start_forward(0, -1):

@@ -13,7 +13,13 @@ __all__ = ["gpipe_theory_bubble", "pipeline_theory_bubble"]
 
 
 def gpipe_theory_bubble(stages: int, bulk: int) -> float:
-    """Idle fraction of a BSP pipeline round (fill + drain overhead)."""
+    """Idle fraction of a BSP pipeline round (fill + drain overhead).
+
+    Provenance: the closed form behind GPipe's cells in the paper's
+    Table 2 "Bub." column (§5.1); anchors the simulator's measured
+    ``ExecutionTrace.bubble_ratio()`` in the theory-anchor tests.
+    Returns a unitless fraction of the makespan in ``[0, 1)``.
+    """
     if stages < 1 or bulk < 1:
         raise ValueError("stages and bulk must be positive")
     return (stages - 1) / (bulk + stages - 1)
@@ -22,7 +28,12 @@ def gpipe_theory_bubble(stages: int, bulk: int) -> float:
 def pipeline_theory_bubble(stages: int, in_flight: int) -> float:
     """Idle fraction of a continuously fed pipeline with a bounded
     in-flight window (ramp amortised away): zero once the window covers
-    the depth, otherwise the under-fill fraction."""
+    the depth, otherwise the under-fill fraction.
+
+    Provenance: the paper's Figure 7 scalability discussion (§5.4 —
+    bubble grows with pipeline depth once the in-flight window stops
+    covering it). Returns a unitless fraction of the makespan.
+    """
     if stages < 1 or in_flight < 1:
         raise ValueError("stages and in_flight must be positive")
     if in_flight >= stages:

@@ -27,13 +27,23 @@ __all__ = [
 
 
 def compare_digests(digest_a: Optional[str], digest_b: Optional[str]) -> bool:
-    """True iff both digests exist and are identical."""
+    """True iff both digests exist and are identical.
+
+    Provenance: paper Definition 1 ("bitwise equal final weights").
+    Digests are SHA-256 over the parameter store in canonical layer
+    order, so equality means equal to the last float32 mantissa bit.
+    """
     return digest_a is not None and digest_a == digest_b
 
 
 def verify_csp_equivalence(sequential_result, pipeline_result) -> None:
     """Raise :class:`ReproducibilityError` unless the pipeline run is
-    bitwise equivalent to the sequential ground truth."""
+    bitwise equivalent to the sequential ground truth.
+
+    Provenance: Definition 1 plus Theorem 1's consequence that a CSP
+    schedule reproduces sequential execution exactly — checked on both
+    the final-weight digest and every per-subnet float32 loss.
+    """
     if not compare_digests(sequential_result.digest, pipeline_result.digest):
         raise ReproducibilityError(
             f"digest mismatch: sequential {sequential_result.digest} vs "
@@ -49,13 +59,21 @@ def verify_csp_equivalence(sequential_result, pipeline_result) -> None:
 
 
 def access_order_for_layer(store: ParameterStore, layer: LayerId) -> str:
-    """Table-4 style access/update order string for one layer."""
+    """Table-4 style access/update order string for one layer.
+
+    Provenance: paper Table 4 (§5.2), which prints per-layer
+    forward/backward orders like ``"2F-2B-5F-5B"`` (subnet sequence ID +
+    F/B) to show CSP's order is cluster-size invariant while the
+    baselines' orders shift.
+    """
     return store.access_order_string(layer)
 
 
 @dataclass
 class ReproducibilityReport:
-    """Losses/scores per (system, gpu count) — the paper's Table 3 cells."""
+    """Losses/scores per (system, gpu count) — the paper's Table 3 cells
+    (§5.2): final float32 training loss, proxy score (BLEU stand-in) and
+    SHA-256 weight digest for every cluster size a system ran on."""
 
     space: str
     losses: Dict[Tuple[str, int], float] = field(default_factory=dict)

@@ -10,7 +10,12 @@ __all__ = ["normalize_throughput", "speedup_table", "subnets_per_hour"]
 def normalize_throughput(
     throughputs: Mapping[str, Optional[float]], reference: str
 ) -> Dict[str, Optional[float]]:
-    """Scale throughputs so ``reference`` is 1.0 (None marks OOM)."""
+    """Scale throughputs so ``reference`` is 1.0 (None marks OOM).
+
+    Provenance: the paper's Figure 5 presentation (normalized throughput
+    with NASPipe = 1.0). Inputs are samples/s (or any consistent rate);
+    output is unitless relative throughput.
+    """
     base = throughputs.get(reference)
     if not base:
         raise ValueError(f"reference system {reference!r} missing or zero")
@@ -25,7 +30,11 @@ def speedup_table(
     target: str,
     baseline: str,
 ) -> List[Tuple[str, Optional[float]]]:
-    """Per-space speedup of ``target`` over ``baseline`` (None on OOM)."""
+    """Per-space speedup of ``target`` over ``baseline`` (None on OOM).
+
+    Provenance: §5.1's headline speedup claims (e.g. NASPipe 6.8× over
+    GPipe on NLP.c1). Output is a unitless ratio per search space.
+    """
     table: List[Tuple[str, Optional[float]]] = []
     for space, throughputs in rows:
         t = throughputs.get(target)
@@ -35,7 +44,11 @@ def speedup_table(
 
 
 def subnets_per_hour(subnets_completed: int, makespan_ms: float) -> float:
-    """The red-bar annotation of Figures 5/6."""
+    """The red-bar annotation of Figures 5/6.
+
+    Converts a completed-subnet count and a makespan in **virtual ms**
+    into subnets per hour (the artifact's Experiment 2 metric).
+    """
     if makespan_ms <= 0:
         return 0.0
     return subnets_completed / (makespan_ms / 3_600_000.0)

@@ -1,0 +1,53 @@
+"""Run observability: trace event schema, Perfetto export, summaries.
+
+``repro.obs`` turns the simulator's :class:`~repro.sim.trace.ExecutionTrace`
+into inspectable artifacts:
+
+* :mod:`repro.obs.events` — the machine-checked registry of every typed
+  trace event (kind, fields, emitting module); ``docs/TRACING.md`` is the
+  prose rendering of the same registry.
+* :mod:`repro.obs.exporter` — Chrome Trace Event Format JSON (loadable
+  in Perfetto / ``chrome://tracing``) with GPU, copy-engine, NIC and
+  scheduler tracks plus cache/queue/ready-set counters.  Deterministic
+  byte-for-byte across identical runs.
+* :mod:`repro.obs.summary` — per-stage bubble attribution (startup vs
+  CSP-wait vs fetch-stall vs drain) and a deterministic run summary; the
+  attribution sums back to ``ExecutionTrace.bubble_ratio()`` exactly.
+
+Entry points: ``PipelineResult.trace_export()`` / ``.trace_summary()``,
+the ``naspipe trace <config>`` CLI and ``make trace-demo``.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMAS,
+    EventField,
+    EventSchema,
+    validate_event,
+    validate_trace,
+)
+from repro.obs.exporter import (
+    export_chrome_trace,
+    to_perfetto,
+    validate_chrome_trace,
+)
+from repro.obs.summary import (
+    StageBubbles,
+    bubble_attribution,
+    format_summary,
+    run_summary,
+)
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "EventField",
+    "EventSchema",
+    "validate_event",
+    "validate_trace",
+    "export_chrome_trace",
+    "to_perfetto",
+    "validate_chrome_trace",
+    "StageBubbles",
+    "bubble_attribution",
+    "format_summary",
+    "run_summary",
+]

@@ -1,0 +1,302 @@
+"""The trace event schema registry — one entry per emitted event kind.
+
+This module is the machine-readable contract behind ``docs/TRACING.md``:
+every :class:`~repro.sim.trace.TraceEvent` an instrumented run emits must
+match a schema here (kind known, stage/subnet scoping respected, attrs
+exactly the declared fields with the declared types).  The exporter and
+the golden-file tests both validate against it, so a new emission site
+cannot silently invent an undocumented event shape.
+
+Conventions shared by all events:
+
+* ``time`` — virtual milliseconds on the simulation clock;
+* ``stage`` — pipeline stage / GPU index, ``-1`` for run-global events;
+* ``subnet_id`` — sequence ID of the subnet involved, ``-1`` when the
+  event is not tied to one subnet;
+* byte quantities are plain bytes, durations are virtual ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "EventField",
+    "EventSchema",
+    "EVENT_SCHEMAS",
+    "validate_event",
+    "validate_trace",
+]
+
+_NUMBER = (int, float)
+_BOOL = (bool,)
+_INT = (int,)
+_STR = (str,)
+
+
+@dataclass(frozen=True)
+class EventField:
+    """One attr of an event kind: name, accepted types, meaning."""
+
+    name: str
+    types: Tuple[type, ...]
+    doc: str
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Contract for one event kind."""
+
+    kind: str
+    emitter: str  # module that records it
+    doc: str
+    fields: Tuple[EventField, ...] = ()
+    stage_scoped: bool = True  # stage must be >= 0
+    subnet_scoped: bool = False  # subnet_id must be >= 0
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+
+def _schema(
+    kind: str,
+    emitter: str,
+    doc: str,
+    *fields: EventField,
+    stage_scoped: bool = True,
+    subnet_scoped: bool = False,
+) -> EventSchema:
+    return EventSchema(kind, emitter, doc, tuple(fields), stage_scoped, subnet_scoped)
+
+
+#: Every event kind an instrumented run may emit.  ``docs/TRACING.md``
+#: documents the same registry in prose; a test asserts the two agree.
+EVENT_SCHEMAS: Dict[str, EventSchema] = {
+    schema.kind: schema
+    for schema in (
+        _schema(
+            "task_dispatch",
+            "repro.engines.pipeline",
+            "A fwd/bwd task was dispatched to a stage's GPU; start may "
+            "exceed the event time by migration/swap-in stall time.",
+            EventField("direction", _STR, '"fwd" or "bwd"'),
+            EventField("start", _NUMBER, "compute start (virtual ms)"),
+            EventField("end", _NUMBER, "compute end (virtual ms)"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "task_done",
+            "repro.engines.pipeline",
+            "A dispatched task's compute completed; the stage is free.",
+            EventField("direction", _STR, '"fwd" or "bwd"'),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "csp_wait_begin",
+            "repro.engines.policies.csp",
+            "The stage has queued forwards but none is CSP-clear; the "
+            "blocking (subnet, layer) edge names the unreleased "
+            "dependency stalling the queue head.",
+            EventField("blocking_subnet", _INT, "earlier subnet holding the layer"),
+            EventField("block", _INT, "choice-block index of the blocking layer"),
+            EventField("choice", _INT, "candidate index of the blocking layer"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "csp_wait_end",
+            "repro.engines.policies.csp",
+            "A forward became schedulable at a stage with an open CSP "
+            "wait; subnet_id is the subnet actually selected.",
+            EventField("waited_ms", _NUMBER, "wait window length (virtual ms)"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "ready_set",
+            "repro.engines.policies.csp",
+            "Counter: size of the stage's CSP readiness index after a "
+            "scheduling decision (index mode only; samples dedup to "
+            "changes).",
+            EventField("size", _INT, "ready subnet count"),
+        ),
+        _schema(
+            "queue_depth",
+            "repro.core.runtime",
+            "Counter: stage queue depths after any queue mutation.",
+            EventField("fwd", _INT, "forward queue (L_q) length"),
+            EventField("bwd", _INT, "backward-ready list length"),
+        ),
+        _schema(
+            "prefetch_issue",
+            "repro.core.context_manager",
+            "An async parameter copy was enqueued on the stage's copy "
+            "engine (predictor prefetch or demand miss).",
+            EventField("block", _INT, "choice-block index"),
+            EventField("choice", _INT, "candidate index"),
+            EventField("nbytes", _INT, "parameter bytes copied"),
+            EventField("demand", _BOOL, "True when a task miss issued it"),
+            EventField("land", _NUMBER, "completion time (virtual ms)"),
+        ),
+        _schema(
+            "prefetch_land",
+            "repro.core.context_manager",
+            "The copy issued by the matching prefetch_issue completed; "
+            "timestamped at landing time.",
+            EventField("block", _INT, "choice-block index"),
+            EventField("choice", _INT, "candidate index"),
+            EventField("nbytes", _INT, "parameter bytes copied"),
+            EventField("demand", _BOOL, "True when a task miss issued it"),
+        ),
+        _schema(
+            "eviction",
+            "repro.core.context_manager",
+            "A layer left the stage's parameter cache (LRU pressure, the "
+            "paper's explicit EVICT call, or OOM reclaim); dirty entries "
+            "pay a write-back copy.",
+            EventField("block", _INT, "choice-block index"),
+            EventField("choice", _INT, "candidate index"),
+            EventField("nbytes", _INT, "parameter bytes freed"),
+            EventField("dirty", _BOOL, "True when written back to CPU"),
+            EventField("reason", _STR, '"lru", "evict" or "reclaim"'),
+        ),
+        _schema(
+            "cache_access",
+            "repro.core.context_manager",
+            "Counter: per-task residency check outcome (Table 2's "
+            "cache-hit metric accumulates these).",
+            EventField("hits", _INT, "layers found resident"),
+            EventField("misses", _INT, "layers absent or still in flight"),
+        ),
+        _schema(
+            "fetch_stall",
+            "repro.engines.pipeline",
+            "A task's layers were not resident at dispatch; the GPU "
+            "idles until the copy lands (recorded as a stall interval "
+            "too).",
+            EventField("wait_ms", _NUMBER, "synchronous stall length"),
+            EventField("misses", _INT, "missing layer count"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "migration",
+            "repro.engines.pipeline",
+            "On-demand operator migration (mirror_mode=migrate): layer "
+            "parameters moved between stages on the critical path "
+            "(paper §2.3's rejected design).",
+            EventField("delay_ms", _NUMBER, "synchronous migration cost"),
+        ),
+        _schema(
+            "oom_retry",
+            "repro.engines.pipeline",
+            "Simulated CUDA OOM at task start: cache reclaimed, task "
+            "re-executed after a fixed penalty (paper §4.2).",
+            EventField("penalty_ms", _NUMBER, "retry penalty"),
+            EventField("retry_at", _NUMBER, "re-dispatch time (virtual ms)"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "nic_transfer",
+            "repro.engines.pipeline",
+            "An activation (fwd) or gradient (bwd) boundary tensor was "
+            "enqueued on an inter-stage link; arrive includes queueing "
+            "and latency.",
+            EventField("src", _INT, "sending stage"),
+            EventField("dst", _INT, "receiving stage"),
+            EventField("nbytes", _INT, "boundary tensor bytes"),
+            EventField("arrive", _NUMBER, "delivery time (virtual ms)"),
+            EventField("direction", _STR, '"fwd" or "bwd"'),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "subnet_inject",
+            "repro.engines.pipeline",
+            "A subnet descriptor was retrieved from the stream and "
+            "admitted into the pipeline.",
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "subnet_complete",
+            "repro.sim.trace",
+            "The subnet's final backward committed at stage 0; the "
+            "subnet left the pipeline.",
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "bulk_flush",
+            "repro.engines.policies.bsp",
+            "BSP barrier: every subnet of the current bulk drained and "
+            "its buffered updates flushed in sequence-ID order.",
+            EventField("bulk", _INT, "subnets flushed"),
+            EventField("flush_index", _INT, "1-based flush ordinal"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "staleness_hold",
+            "repro.engines.policies.asp",
+            "SSP gate: the queue head exceeds the staleness bound over "
+            "the oldest unfinished subnet (one event per distinct hold).",
+            EventField("oldest_unfinished", _INT, "current lag reference"),
+            EventField("staleness", _INT, "configured bound"),
+            subnet_scoped=True,
+        ),
+        _schema(
+            "sim_quiescent",
+            "repro.sim.engine",
+            "The discrete-event queue drained; the schedule is complete.",
+            EventField("events_processed", _INT, "cumulative sim events"),
+            stage_scoped=False,
+        ),
+    )
+}
+
+
+def validate_event(event: TraceEvent) -> List[str]:
+    """Schema-check one event; returns human-readable problems (empty =
+    valid)."""
+    schema = EVENT_SCHEMAS.get(event.kind)
+    if schema is None:
+        return [f"unknown event kind {event.kind!r}"]
+    problems: List[str] = []
+    if schema.stage_scoped and event.stage < 0:
+        problems.append(f"{event.kind}: stage must be >= 0, got {event.stage}")
+    if not schema.stage_scoped and event.stage != -1:
+        problems.append(f"{event.kind}: run-global event carries stage {event.stage}")
+    if schema.subnet_scoped and event.subnet_id < 0:
+        problems.append(
+            f"{event.kind}: subnet_id must be >= 0, got {event.subnet_id}"
+        )
+    attrs = event.attrs_dict
+    declared = schema.field_names()
+    missing = [name for name in declared if name not in attrs]
+    extra = [name for name in attrs if name not in declared]
+    if missing:
+        problems.append(f"{event.kind}: missing attrs {missing}")
+    if extra:
+        problems.append(f"{event.kind}: undeclared attrs {extra}")
+    for spec in schema.fields:
+        if spec.name not in attrs:
+            continue
+        value = attrs[spec.name]
+        # bool is an int subclass; only accept it where declared.
+        if isinstance(value, bool) and bool not in spec.types:
+            problems.append(
+                f"{event.kind}.{spec.name}: bool where {spec.types} expected"
+            )
+        elif not isinstance(value, spec.types):
+            problems.append(
+                f"{event.kind}.{spec.name}: {type(value).__name__} "
+                f"where {spec.types} expected"
+            )
+    return problems
+
+
+def validate_trace(trace: ExecutionTrace) -> List[str]:
+    """Schema-check every event of a trace (empty list = all valid)."""
+    problems: List[str] = []
+    for event in trace.events:
+        problems.extend(validate_event(event))
+    return problems

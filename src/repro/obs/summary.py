@@ -1,0 +1,334 @@
+"""Deterministic run summaries with per-stage bubble attribution.
+
+The paper reports the bubble ratio as one number per run (Table 2's
+"Bub." column); this module decomposes the same idle time by *cause*,
+per stage:
+
+* **startup** — idle before the stage's first compute task (pipeline
+  fill / ramp);
+* **fetch_stall** — recorded stall intervals: synchronous parameter
+  swap-ins, operator migrations and OOM retries;
+* **csp_wait** — idle overlapping an open CSP wait window (the stage
+  had queued forwards but every candidate was blocked by an unreleased
+  causal dependency — the scheduling cost of Definition 2);
+* **drain** — idle after the stage's last compute task (pipeline drain);
+* **other_idle** — the remainder (empty queues mid-run: upstream
+  starvation or transfer latency).
+
+The five per-stage terms sum to the stage's idle time *exactly* (the
+remainder term balances by construction), so the mean attribution across
+stages reproduces ``ExecutionTrace.bubble_ratio()`` to float precision —
+the invariant the exporter tests enforce at 1e-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "WaitWindow",
+    "StageBubbles",
+    "csp_wait_windows",
+    "bubble_attribution",
+    "run_summary",
+    "format_summary",
+]
+
+_Segment = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class WaitWindow:
+    """One CSP wait: the stage's forward queue was dependency-blocked."""
+
+    stage: int
+    start: float
+    end: float
+    blocked: int  # queue-head subnet that could not run
+    blocking_subnet: int  # earlier subnet holding the layer
+    block: int  # choice-block index of the blocking layer
+    choice: int  # candidate index of the blocking layer
+
+
+def csp_wait_windows(trace: ExecutionTrace) -> Dict[int, List[WaitWindow]]:
+    """Pair ``csp_wait_begin``/``csp_wait_end`` events into windows per
+    stage; a wait still open at the end of the run closes at
+    ``trace.end_time``."""
+    windows: Dict[int, List[WaitWindow]] = {}
+    open_waits: Dict[int, object] = {}
+    for event in trace.events:
+        if event.kind == "csp_wait_begin":
+            open_waits[event.stage] = event
+        elif event.kind == "csp_wait_end":
+            begin = open_waits.pop(event.stage, None)
+            if begin is None:
+                continue
+            windows.setdefault(event.stage, []).append(
+                _window_from(begin, event.time)
+            )
+    for stage, begin in sorted(open_waits.items()):
+        windows.setdefault(stage, []).append(_window_from(begin, trace.end_time))
+    return windows
+
+
+def _window_from(begin, end: float) -> WaitWindow:
+    attrs = begin.attrs_dict
+    return WaitWindow(
+        stage=begin.stage,
+        start=begin.time,
+        end=end,
+        blocked=begin.subnet_id,
+        blocking_subnet=int(attrs.get("blocking_subnet", -1)),
+        block=int(attrs.get("block", -1)),
+        choice=int(attrs.get("choice", -1)),
+    )
+
+
+# ----------------------------------------------------------------------
+# interval arithmetic
+# ----------------------------------------------------------------------
+def _merge(segments: List[_Segment]) -> List[_Segment]:
+    merged: List[_Segment] = []
+    for start, end in sorted(segments):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _complement(segments: List[_Segment], lo: float, hi: float) -> List[_Segment]:
+    """Gaps of merged ``segments`` inside ``[lo, hi]``."""
+    gaps: List[_Segment] = []
+    cursor = lo
+    for start, end in segments:
+        if start > cursor:
+            gaps.append((cursor, min(start, hi)))
+        cursor = max(cursor, end)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        gaps.append((cursor, hi))
+    return [(s, e) for s, e in gaps if e > s]
+
+
+def _overlap(a: List[_Segment], b: List[_Segment]) -> float:
+    """Total overlap length between two merged segment lists."""
+    total = 0.0
+    j = 0
+    for start, end in a:
+        while j < len(b) and b[j][1] <= start:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            total += min(end, b[k][1]) - max(start, b[k][0])
+            k += 1
+    return total
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageBubbles:
+    """One stage's idle-time decomposition (all values virtual ms)."""
+
+    stage: int
+    makespan_ms: float
+    busy_ms: float
+    idle_ms: float
+    startup_ms: float
+    fetch_stall_ms: float
+    csp_wait_ms: float
+    drain_ms: float
+    other_idle_ms: float
+
+    def fractions(self) -> Dict[str, float]:
+        """Idle categories as fractions of the makespan; they sum to
+        this stage's idle fraction."""
+        if self.makespan_ms <= 0:
+            return {
+                "startup": 0.0,
+                "fetch_stall": 0.0,
+                "csp_wait": 0.0,
+                "drain": 0.0,
+                "other_idle": 0.0,
+            }
+        return {
+            "startup": self.startup_ms / self.makespan_ms,
+            "fetch_stall": self.fetch_stall_ms / self.makespan_ms,
+            "csp_wait": self.csp_wait_ms / self.makespan_ms,
+            "drain": self.drain_ms / self.makespan_ms,
+            "other_idle": self.other_idle_ms / self.makespan_ms,
+        }
+
+
+def bubble_attribution(trace: ExecutionTrace) -> List[StageBubbles]:
+    """Decompose every stage's idle time by cause.
+
+    Precedence inside each idle segment: recorded stalls first (they are
+    explicit hardware waits), then position (before first compute =
+    startup, after last = drain), then CSP wait overlap, then remainder.
+    ``other_idle`` balances exactly, so per stage
+    ``startup + fetch_stall + csp_wait + drain + other_idle == idle``.
+    """
+    makespan = trace.makespan
+    waits = csp_wait_windows(trace)
+    per_stage: List[StageBubbles] = []
+    for stage in range(trace.num_gpus):
+        compute = _merge(
+            [
+                (i.start, i.end)
+                for i in trace.intervals
+                if i.gpu_id == stage and i.kind in ("fwd", "bwd")
+            ]
+        )
+        stalls = _merge(
+            [
+                (i.start, i.end)
+                for i in trace.intervals
+                if i.gpu_id == stage and i.kind == "stall"
+            ]
+        )
+        wait_segments = _merge([(w.start, w.end) for w in waits.get(stage, [])])
+        busy = trace.busy_time(stage, compute_only=True)
+        idle = max(0.0, makespan - busy)
+
+        if makespan <= 0:
+            per_stage.append(
+                StageBubbles(stage, 0.0, busy, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            )
+            continue
+
+        first_compute = compute[0][0] if compute else trace.end_time
+        last_compute = compute[-1][1] if compute else trace.end_time
+        startup = fetch_stall = csp_wait = drain = 0.0
+        for gap in _complement(compute, trace.start_time, trace.end_time):
+            stalled = _overlap([gap], stalls)
+            fetch_stall += stalled
+            remainder = (gap[1] - gap[0]) - stalled
+            if remainder <= 0:
+                continue
+            if gap[1] <= first_compute:
+                # Fill phase: idle before the stage's first task (minus
+                # any stall already attributed above).
+                startup += remainder
+            elif gap[0] >= last_compute:
+                drain += remainder
+            else:
+                waited = min(remainder, _overlap([gap], wait_segments))
+                csp_wait += waited
+        other = idle - startup - fetch_stall - csp_wait - drain
+        per_stage.append(
+            StageBubbles(
+                stage=stage,
+                makespan_ms=makespan,
+                busy_ms=busy,
+                idle_ms=idle,
+                startup_ms=startup,
+                fetch_stall_ms=fetch_stall,
+                csp_wait_ms=csp_wait,
+                drain_ms=drain,
+                other_idle_ms=other,
+            )
+        )
+    return per_stage
+
+
+def run_summary(result) -> Dict[str, object]:
+    """Deterministic summary dict for one :class:`PipelineResult`.
+
+    ``bubble_attribution`` holds mean fractions across stages; their sum
+    equals ``bubble_ratio`` to float precision (tested at 1e-9).
+    """
+    trace: ExecutionTrace = result.trace
+    stages = bubble_attribution(trace)
+    mean: Dict[str, float] = {
+        "startup": 0.0,
+        "fetch_stall": 0.0,
+        "csp_wait": 0.0,
+        "drain": 0.0,
+        "other_idle": 0.0,
+    }
+    for stage in stages:
+        for key, value in stage.fractions().items():
+            mean[key] += value
+    if stages:
+        for key in mean:
+            mean[key] /= len(stages)
+    return {
+        "schema": 1,
+        "system": result.system,
+        "space": result.space,
+        "num_gpus": result.num_gpus,
+        "batch": result.batch,
+        "makespan_ms": trace.makespan,
+        "subnets_completed": result.subnets_completed,
+        "throughput_samples_per_sec": result.throughput_samples_per_sec,
+        "bubble_ratio": trace.bubble_ratio(),
+        "bubble_attribution": mean,
+        "per_stage": [
+            {
+                "stage": stage.stage,
+                "busy_ms": stage.busy_ms,
+                "idle_ms": stage.idle_ms,
+                "startup_ms": stage.startup_ms,
+                "fetch_stall_ms": stage.fetch_stall_ms,
+                "csp_wait_ms": stage.csp_wait_ms,
+                "drain_ms": stage.drain_ms,
+                "other_idle_ms": stage.other_idle_ms,
+            }
+            for stage in stages
+        ],
+        "cache": {
+            "hits": trace.cache_hits,
+            "misses": trace.cache_misses,
+            "hit_rate": trace.cache_hit_rate(),
+        },
+        "total_alu": result.total_alu,
+        "mean_exec_ms": result.mean_exec_ms,
+        "event_counts": trace.event_counts(),
+    }
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`run_summary` (stable layout)."""
+    attribution = summary["bubble_attribution"]
+    lines = [
+        "run summary — {system} on {space}, D={num_gpus}, batch={batch}".format(
+            **summary
+        ),
+        f"  makespan       {summary['makespan_ms']:.1f} ms "
+        f"({summary['subnets_completed']} subnets, "
+        f"{summary['throughput_samples_per_sec']:.1f} samples/s)",
+        f"  bubble ratio   {summary['bubble_ratio']:.4f}",
+        "  bubble attribution (mean fraction of makespan per stage):",
+    ]
+    for key in ("startup", "csp_wait", "fetch_stall", "drain", "other_idle"):
+        lines.append(f"    {key:<12s} {attribution[key]:.4f}")
+    lines.append(
+        "  stage  busy_ms  startup  csp_wait  fetch_stall  drain  other"
+    )
+    for row in summary["per_stage"]:
+        lines.append(
+            "  P{stage:<4d} {busy_ms:8.1f} {startup_ms:8.1f} {csp_wait_ms:9.1f} "
+            "{fetch_stall_ms:11.1f} {drain_ms:6.1f} {other_idle_ms:6.1f}".format(
+                **row
+            )
+        )
+    cache = summary["cache"]
+    hit = (
+        f"{cache['hit_rate'] * 100:.1f}%" if cache["hit_rate"] is not None else "N/A"
+    )
+    lines.append(
+        f"  cache          {cache['hits']} hits / {cache['misses']} misses ({hit})"
+    )
+    counts = summary["event_counts"]
+    lines.append(
+        "  events         "
+        + " ".join(f"{kind}={count}" for kind, count in counts.items())
+    )
+    return "\n".join(lines)

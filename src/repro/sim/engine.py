@@ -7,21 +7,35 @@ All domain logic lives in the callbacks the pipeline engine installs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import ExecutionTrace
 
 __all__ = ["SimulationEngine"]
 
 
 class SimulationEngine:
-    """Owns the event queue and runs it to quiescence."""
+    """Owns the event queue and runs it to quiescence.
 
-    def __init__(self, max_events: int = 10_000_000) -> None:
+    When ``trace`` is given, the engine emits one ``sim_quiescent``
+    observability event each time the queue drains, carrying the
+    cumulative event count — the run-global "the schedule is complete"
+    marker the trace exporter pins at the end of the timeline.
+    """
+
+    def __init__(
+        self,
+        max_events: int = 10_000_000,
+        trace: Optional["ExecutionTrace"] = None,
+    ) -> None:
         self.queue = EventQueue()
         self.max_events = max_events
         self.events_processed = 0
+        self.trace = trace
 
     @property
     def now(self) -> float:
@@ -41,6 +55,12 @@ class SimulationEngine:
         while True:
             next_time = self.queue.peek_time()
             if next_time is None:
+                if self.trace is not None:
+                    self.trace.record_event(
+                        "sim_quiescent",
+                        self.now,
+                        events_processed=self.events_processed,
+                    )
                 return self.now
             if until is not None and next_time > until:
                 return self.now

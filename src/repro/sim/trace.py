@@ -1,8 +1,18 @@
 """Execution tracing: the raw record every evaluation metric derives from.
 
-The trace stores per-GPU busy intervals tagged with the task that caused
-them, plus cache-hit/miss and stall events from the context manager.  The
-paper's metrics map onto it directly:
+The trace stores two layers of data for one pipeline run:
+
+* **busy intervals** (:class:`BusyInterval`) — per-GPU occupancy spans
+  tagged with the causing task, the minimal record the paper's headline
+  metrics need;
+* **typed events** (:class:`TraceEvent`) — the structured observability
+  stream (task dispatches, CSP waits with their blocking edge, prefetch
+  issue/land, evictions, NIC transfers, counter samples) consumed by
+  :mod:`repro.obs` for Perfetto export and bubble attribution.  The full
+  event schema is documented in ``docs/TRACING.md`` and machine-checked
+  by :mod:`repro.obs.events`.
+
+The paper's metrics map onto the interval layer directly:
 
 * **bubble ratio** — idle fraction of each GPU inside the pipeline's
   active window (Table 2's "Bub." column);
@@ -11,19 +21,29 @@ paper's metrics map onto it directly:
 * **cache hit rate** — resident-at-execution checks (Table 2's last
   column);
 * **throughput** — samples per second from subnet completions.
+
+All times are **virtual milliseconds** from the simulation clock; all
+byte quantities are plain bytes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["BusyInterval", "ExecutionTrace"]
+__all__ = ["BusyInterval", "TraceEvent", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
 class BusyInterval:
-    """One span of GPU occupancy."""
+    """One span of GPU occupancy.
+
+    ``kind`` is ``"fwd"``/``"bwd"`` for compute and ``"stall"`` for any
+    span where the GPU sits idle waiting on a parameter copy, an operator
+    migration or an OOM retry.  Compute intervals are what Table 2's
+    bubble/ALU columns count as *busy*; stalls count as idle.
+    Units: ``start``/``end`` in virtual ms.
+    """
 
     gpu_id: int
     start: float
@@ -36,12 +56,44 @@ class BusyInterval:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observability event.
+
+    ``kind`` names the event type (the registry in
+    :data:`repro.obs.events.EVENT_SCHEMAS` enumerates every kind, its
+    emitter and its fields).  ``stage`` is the pipeline stage / GPU id
+    the event belongs to, or ``-1`` for run-global events; ``subnet_id``
+    is ``-1`` when the event is not tied to one subnet.  ``attrs`` holds
+    the kind-specific payload as a tuple of ``(key, value)`` pairs so
+    the event stays hashable and its serialisation deterministic.
+    ``time`` is in virtual ms.
+    """
+
+    kind: str
+    time: float
+    stage: int = -1
+    subnet_id: int = -1
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def attr(self, key: str, default: object = None) -> object:
+        for name, value in self.attrs:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def attrs_dict(self) -> Dict[str, object]:
+        return dict(self.attrs)
+
+
 @dataclass
 class ExecutionTrace:
-    """Accumulates intervals and context-manager events for one run."""
+    """Accumulates intervals, typed events and counters for one run."""
 
     num_gpus: int
     intervals: List[BusyInterval] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     stall_time_total: float = 0.0
@@ -60,6 +112,19 @@ class ExecutionTrace:
             self.stall_time_total += end - start
         self.end_time = max(self.end_time, end)
 
+    def record_event(
+        self,
+        kind: str,
+        time: float,
+        stage: int = -1,
+        subnet_id: int = -1,
+        **attrs: object,
+    ) -> None:
+        """Append one typed event (see ``docs/TRACING.md`` for kinds)."""
+        self.events.append(
+            TraceEvent(kind, time, stage, subnet_id, tuple(attrs.items()))
+        )
+
     def record_cache_access(self, hit: bool, count: int = 1) -> None:
         if hit:
             self.cache_hits += count
@@ -69,15 +134,42 @@ class ExecutionTrace:
     def record_subnet_complete(self, subnet_id: int, time: float) -> None:
         self.subnet_completion_times[subnet_id] = time
         self.end_time = max(self.end_time, time)
+        self.record_event("subnet_complete", time, subnet_id=subnet_id)
+
+    # ------------------------------------------------------------------
+    # event queries
+    # ------------------------------------------------------------------
+    def events_of(self, *kinds: str) -> Iterator[TraceEvent]:
+        """Events of the given kinds, in emission order."""
+        wanted = set(kinds)
+        return (event for event in self.events if event.kind in wanted)
+
+    def event_kinds(self) -> List[str]:
+        """Sorted distinct event kinds present in this trace."""
+        return sorted({event.kind for event in self.events})
+
+    def event_counts(self) -> Dict[str, int]:
+        """``{kind: occurrences}``, sorted by kind (deterministic)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {kind: counts[kind] for kind in sorted(counts)}
 
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
     @property
     def makespan(self) -> float:
+        """Active-window length in virtual ms (``end_time - start_time``);
+        the denominator of every Table 2 utilisation column."""
         return self.end_time - self.start_time
 
     def busy_time(self, gpu_id: int, compute_only: bool = True) -> float:
+        """Total occupied ms on ``gpu_id``.
+
+        ``compute_only=True`` counts fwd/bwd spans only — the paper's
+        notion of *busy* for bubble/ALU; ``False`` adds stall spans.
+        """
         kinds = ("fwd", "bwd") if compute_only else ("fwd", "bwd", "stall")
         return sum(
             interval.duration
@@ -86,7 +178,14 @@ class ExecutionTrace:
         )
 
     def bubble_ratio(self) -> float:
-        """Mean idle fraction across GPUs over the active window."""
+        """Mean idle fraction across GPUs over the active window.
+
+        Table 2's "Bub." column (and the y-axis of Figure 7's bubble
+        panel).  Dimensionless in [0, 1].  The per-cause decomposition of
+        the same quantity lives in
+        :func:`repro.obs.summary.bubble_attribution`, which sums back to
+        this value within 1e-9.
+        """
         if self.makespan <= 0:
             return 0.0
         idle_fractions = []
@@ -98,8 +197,9 @@ class ExecutionTrace:
     def total_alu_utilization(self, alu_efficiency: float = 1.0) -> float:
         """Sum over GPUs of (busy fraction × ALU efficiency).
 
+        Table 2's "GPU ALU" column and Figure 7's utilisation panel.
         Matches the paper's normalisation: "7.8×" means the summed
-        utilisation equals 7.8 fully-busy GPUs.
+        utilisation equals 7.8 fully-busy GPUs.  Dimensionless.
         """
         if self.makespan <= 0:
             return 0.0
@@ -110,16 +210,22 @@ class ExecutionTrace:
         return total
 
     def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of layer activations found resident (Table 2's last
+        column, "when a layer in a choice block is activated, the layer
+        already resides in GPU memory").  None when the system does not
+        cache (full-context baselines)."""
         accesses = self.cache_hits + self.cache_misses
         if accesses == 0:
             return None
         return self.cache_hits / accesses
 
     def subnets_completed(self) -> int:
+        """Subnets whose final backward committed (stream progress)."""
         return len(self.subnet_completion_times)
 
     def throughput_samples_per_sec(self, batch: int) -> float:
-        """Training throughput in data samples per (virtual) second."""
+        """Training throughput in data samples per (virtual) second —
+        the quantity Figure 5/6 normalise and Figure 7 scales."""
         if self.makespan <= 0:
             return 0.0
         return self.subnets_completed() * batch / (self.makespan / 1_000.0)
@@ -129,7 +235,7 @@ class ExecutionTrace:
 
         Table 2's "Exec." column: total compute time across GPUs divided
         by subnets completed and by the stage count — i.e. the per-subnet
-        critical-path time had there been no bubbles.
+        critical-path time had there been no bubbles.  Virtual ms.
         """
         done = self.subnets_completed()
         if done == 0:

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every ``*.md`` at the repository root and under ``docs/`` for
+inline links/images, resolves relative targets against the containing
+file, and fails (exit 1) listing any that point at missing files.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``) are skipped; a ``path#anchor`` target is checked for the path
+only. Run from anywhere: ``python tools/check_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# [text](target) and ![alt](target); target ends at the first unescaped
+# ')' — good enough for the plain paths these docs use.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> List[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check() -> List[str]:
+    problems: List[str] = []
+    for path in markdown_files():
+        for lineno, target in iter_links(path):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            candidate = target.split("#", 1)[0]
+            if not candidate:
+                continue
+            resolved = (path.parent / candidate).resolve()
+            if not resolved.exists():
+                where = path.relative_to(REPO_ROOT)
+                problems.append(f"{where}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s)")
+        return 1
+    print(f"all intra-repo links resolve across {len(markdown_files())} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
