@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo clean
+.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo faults-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -30,6 +30,10 @@ demo:
 trace-demo:
 	python -m repro trace examples/trace_demo.json \
 		--out trace_demo.trace.json --summary
+
+faults-demo:
+	python -m repro faults examples/faults_demo.json \
+		--json faults_demo.availability.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -203,6 +203,101 @@ def _trace(args) -> str:
     return "\n".join(lines)
 
 
+def _faults(args) -> str:
+    """``naspipe faults <config>``: run one fault-injection scenario and
+    report availability metrics plus the digest comparison against the
+    fault-free baseline.
+
+    The config is a small JSON object, e.g. ``examples/faults_demo.json``::
+
+        {"space": "NLP.c3", "system": "NASPipe", "num_gpus": 4,
+         "subnets": 24, "seed": 2022, "checkpoint_interval": 8,
+         "faults": [{"kind": "gpu_crash", "time_ms": 600.0, "target": 1}]}
+
+    Instead of an explicit ``"faults"`` list, ``"mtbf_ms"`` draws a
+    seeded schedule over the baseline's makespan.  ``"recovery_gpus"``
+    restarts on a different GPU count (elastic rescale); under CSP the
+    digest still matches the fault-free run bitwise.  ``--json PATH``
+    also writes the machine-readable availability summary.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.baselines import system_by_name
+    from repro.ft import (
+        FaultSchedule,
+        RecoverySpec,
+        availability_summary,
+        format_availability,
+        run_uninterrupted,
+        run_with_recovery,
+    )
+    from repro.seeding import SeedSequenceTree
+    from repro.supernet.search_space import get_search_space
+
+    config_path = Path(args.config)
+    config = json.loads(config_path.read_text())
+    space = get_search_space(config.get("space", "NLP.c3"))
+    if config.get("space_overrides"):
+        space = space.scaled(**config["space_overrides"])
+    system = system_by_name(
+        config.get("system", "NASPipe"), **config.get("overrides", {})
+    )
+    num_gpus = int(config.get("num_gpus", 4))
+    steps = int(config.get("subnets", 24))
+    seed = int(config.get("seed", args.seed))
+    batch = config.get("batch")
+    common = dict(num_gpus=num_gpus, steps=steps, seed=seed, batch=batch)
+
+    baseline = run_uninterrupted(space, system, **common)
+    if "faults" in config:
+        schedule = FaultSchedule.from_payload(config["faults"])
+    else:
+        schedule = FaultSchedule.from_mtbf(
+            SeedSequenceTree(seed),
+            mtbf_ms=float(config.get("mtbf_ms", baseline.makespan_ms / 2)),
+            horizon_ms=baseline.makespan_ms,
+            num_gpus=num_gpus,
+        )
+    spec = RecoverySpec(
+        checkpoint_interval=int(config.get("checkpoint_interval", 8)),
+        restart_gpus=config.get("recovery_gpus"),
+    )
+
+    def run(directory):
+        return run_with_recovery(
+            space,
+            system,
+            schedule,
+            checkpoint_dir=directory,
+            spec=spec,
+            **common,
+        )
+
+    if config.get("checkpoint_dir"):
+        faulted = run(config["checkpoint_dir"])
+    else:
+        with tempfile.TemporaryDirectory(prefix="naspipe-faults-") as tmp:
+            faulted = run(tmp)
+
+    summary = availability_summary(faulted, baseline)
+    lines = [
+        f"fault schedule: {len(schedule)} event(s)",
+        *(
+            f"  t={event.time_ms:9.2f}ms  {event.kind:>11s} @ {event.target}"
+            for event in schedule
+        ),
+        "",
+        format_availability(summary),
+    ]
+    if args.json:
+        out = Path(args.json)
+        out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        lines.append(f"[availability summary written to {out}]")
+    return "\n".join(lines)
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -296,14 +391,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("trace", "all", "list"),
-        help="which table/figure to regenerate (or 'trace' to export a "
-        "Perfetto-compatible run trace)",
+        choices=_EXPERIMENTS + ("trace", "faults", "all", "list"),
+        help="which table/figure to regenerate ('trace' exports a "
+        "Perfetto-compatible run trace; 'faults' runs a fault-injection "
+        "scenario with recovery)",
     )
     parser.add_argument(
         "config",
         nargs="?",
-        help="trace: JSON run config (see examples/trace_demo.json)",
+        help="trace/faults: JSON run config (see examples/trace_demo.json "
+        "and examples/faults_demo.json)",
     )
     parser.add_argument(
         "--scale",
@@ -331,7 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json",
         metavar="PATH",
         help="scheduler-cost: run the stream-scaling benchmark and write "
-        "its payload (BENCH_scheduler.json) here",
+        "its payload (BENCH_scheduler.json) here; faults: write the "
+        "machine-readable availability summary here",
     )
     parser.add_argument(
         "--baseline",
@@ -359,13 +457,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(_EXPERIMENTS + ("trace",)))
+        print("\n".join(_EXPERIMENTS + ("trace", "faults")))
         return 0
 
     if args.experiment == "trace":
         if not args.config:
             parser.error("trace requires a JSON run config path")
         print(_trace(args))
+        return 0
+
+    if args.experiment == "faults":
+        if not args.config:
+            parser.error("faults requires a JSON run config path")
+        print(_faults(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

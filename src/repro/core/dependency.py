@@ -133,6 +133,22 @@ class DependencyTracker:
     def is_registered(self, subnet_id: int) -> bool:
         return subnet_id in self._subnets or subnet_id < self.frontier
 
+    def reset_frontier(self, base: int) -> None:
+        """Start elimination at ``base`` (a recovered run's resume cut).
+
+        A restarted stream carries its original sequence IDs from the
+        checkpoint cut onward; without moving the frontier, the
+        contiguity walk in :meth:`_advance_frontier` would wait forever
+        for ids the previous incarnation already finished and the
+        elimination scheme would never prune — correct but unboundedly
+        growing state.  Only allowed before any subnet registers.
+        """
+        if self._subnets or self._finished:
+            raise SchedulingError(
+                "reset_frontier is only valid on an empty tracker"
+            )
+        self.frontier = base
+
     def release_layers(self, subnet_id: int, layers: Iterable[LayerId]) -> None:
         """Record that ``subnet_id``'s WRITE on ``layers`` has committed."""
         if subnet_id not in self._released:

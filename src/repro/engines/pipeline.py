@@ -89,6 +89,15 @@ class PipelineResult:
     scheduler_scans: int = 0
     scheduler_ready_pops: int = 0
     scheduler_mean_call_us: float = 0.0
+    # -- fault tolerance (repro.ft) ------------------------------------
+    #: True when a fatal fault halted the run before the stream drained;
+    #: completions/losses then cover only the surviving prefix
+    interrupted: bool = False
+    interrupt_kind: str = ""
+    interrupt_time_ms: float = 0.0
+    fault_count: int = 0
+    task_retries: int = 0
+    checkpoint_cuts: List[int] = field(default_factory=list)
 
     def summary(self) -> str:
         hit = (
@@ -145,6 +154,8 @@ class PipelineEngine:
         batch: Optional[int] = None,
         functional: Optional[FunctionalPlane] = None,
         event_listener=None,
+        faults=None,
+        checkpoints=None,
     ) -> None:
         self.supernet = supernet
         self.space = supernet.space
@@ -222,6 +233,20 @@ class PipelineEngine:
                 for stage in range(self.stages)
             ]
 
+        # -- fault tolerance (repro.ft), bound last: the injector
+        # schedules fault events into the (now fully built) sim queue,
+        # the checkpoint manager observes functional-plane commits.
+        self.faults = faults
+        self.checkpoints = checkpoints
+        self.task_retries = 0
+        self.interrupted = False
+        self.interrupt_kind = ""
+        self.interrupt_time_ms = 0.0
+        if checkpoints is not None:
+            checkpoints.bind(self)
+        if faults is not None:
+            faults.bind(self)
+
     # ------------------------------------------------------------------
     # helpers used by policies
     # ------------------------------------------------------------------
@@ -241,7 +266,8 @@ class PipelineEngine:
     def oldest_unfinished_subnet(self) -> int:
         if self.inflight:
             return min(self.inflight)
-        return len(self.completed)
+        # stream ids start at the resume base for recovered runs
+        return self.stream.base + len(self.completed)
 
     def prefetch_context(self, stage: int, layers: Sequence[LayerId]) -> None:
         if self.contexts is not None:
@@ -422,6 +448,35 @@ class PipelineEngine:
                 label=f"oom-retry SN{subnet_id}@P{stage}",
             )
             return
+        if self.faults is not None:
+            # Transient task error (repro.ft): the dispatch fails, the
+            # stage stalls for an exponential backoff, the task retries.
+            # Checked on retries too — each armed failure consumes one
+            # dispatch, so magnitude-N faults fail N consecutive times.
+            fault = self.faults.take_task_fault(stage)
+            if fault is not None:
+                attempt, delay_ms = fault
+                self.task_retries += 1
+                retry_at = now + delay_ms
+                direction = "bwd" if is_backward else "fwd"
+                self.trace.record_interval(stage, now, retry_at, "stall", subnet_id)
+                self.trace.record_event(
+                    "task_retry",
+                    now,
+                    stage=stage,
+                    subnet_id=subnet_id,
+                    attempt=attempt,
+                    delay_ms=delay_ms,
+                    direction=direction,
+                )
+                self.sim.schedule(
+                    retry_at,
+                    lambda: self._begin_task(
+                        stage, subnet_id, is_backward, retrying=True
+                    ),
+                    label=f"task-retry SN{subnet_id}@P{stage}",
+                )
+                return
         start = now
         start += self._migration_delay_ms(stage, layers, now)
         if self.contexts is not None:
@@ -587,7 +642,7 @@ class PipelineEngine:
             if stage > 0:
                 run.grad_in[stage - 1] = dinput
             if self.policy.commits_immediately:
-                self.functional.commit(updates, now)
+                self._commit_updates(updates, now)
             else:
                 run.buffered_updates.extend(updates)
 
@@ -644,6 +699,12 @@ class PipelineEngine:
         self._emit("subnet-complete", 0, subnet_id, now)
         flush_ids = self.policy.on_subnet_complete(subnet_id)
         self._flush(flush_ids)
+        if self.checkpoints is not None:
+            self.checkpoints.on_subnet_complete(subnet_id, now)
+        if self.faults is not None and len(self.completed) == len(self.stream):
+            # the run is over; faults scheduled past this point are moot
+            # and must not keep the virtual clock ticking
+            self.faults.cancel_pending()
         # Drop the run state we no longer need (keep subnet + partition for
         # late queries; activations and boundaries are already consumed).
         run = self.runs[subnet_id]
@@ -658,22 +719,62 @@ class PipelineEngine:
             updates = sorted(
                 run.buffered_updates, key=lambda update: update.layer
             )
-            self.functional.commit(updates, self.sim.now)
+            self._commit_updates(updates, self.sim.now)
             run.buffered_updates.clear()
+
+    def _commit_updates(self, updates: Sequence[PendingUpdate], now: float) -> None:
+        """Apply updates through the functional plane, letting the
+        checkpoint manager capture pre-images first (the undo log must
+        see the state the write is about to clobber)."""
+        if self.checkpoints is not None:
+            self.checkpoints.observe_updates(updates)
+        self.functional.commit(updates, now)
+
+    # ------------------------------------------------------------------
+    # fault tolerance (repro.ft)
+    # ------------------------------------------------------------------
+    def _on_fatal_fault(self, event) -> None:
+        """Fail-stop: a GPU or host died.  In-flight work vanishes (the
+        event queue is cleared), the run returns interrupted, and
+        :mod:`repro.ft.recovery` restarts from the latest consistent
+        checkpoint."""
+        now = self.sim.now
+        spec = self.cluster.spec
+        if event.kind == "host_crash":
+            stages = [
+                stage
+                for stage in range(self.stages)
+                if spec.host_of(stage) == event.target
+            ]
+        else:
+            stages = [event.target]
+        for stage in stages:
+            self.trace.record_event(
+                "gpu_down",
+                now,
+                stage=stage,
+                cause=event.kind,
+                down_ms=event.duration_ms,
+            )
+        self.interrupted = True
+        self.interrupt_kind = event.kind
+        self.interrupt_time_ms = now
+        self.sim.queue.clear()
 
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
         self._try_inject()
         self.sim.run()
-        self._flush(self.policy.finalize())
-        if len(self.completed) != len(self.stream):
-            raise DeadlockError(
-                {
-                    "completed": len(self.completed),
-                    "stream": len(self.stream),
-                    "inflight": sorted(self.inflight),
-                }
-            )
+        if not self.interrupted:
+            self._flush(self.policy.finalize())
+            if len(self.completed) != len(self.stream):
+                raise DeadlockError(
+                    {
+                        "completed": len(self.completed),
+                        "stream": len(self.stream),
+                        "inflight": sorted(self.inflight),
+                    }
+                )
         return self._result()
 
     # ------------------------------------------------------------------
@@ -719,5 +820,15 @@ class PipelineEngine:
                 max(c.peak_resident_bytes for c in self.contexts)
                 if self.contexts
                 else None
+            ),
+            interrupted=self.interrupted,
+            interrupt_kind=self.interrupt_kind,
+            interrupt_time_ms=self.interrupt_time_ms,
+            fault_count=self.faults.fault_count if self.faults else 0,
+            task_retries=self.task_retries,
+            checkpoint_cuts=(
+                [c.cut for c in self.checkpoints.commits]
+                if self.checkpoints
+                else []
             ),
         )

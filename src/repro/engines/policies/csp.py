@@ -42,6 +42,14 @@ class CspPolicy(SyncPolicy):
 
     def bind(self, engine) -> None:
         super().bind(engine)
+        # Recovered runs consume a stream slice that keeps its original
+        # sequence IDs; start elimination at the slice base so the
+        # frontier's contiguity walk doesn't wait on pre-crash ids.
+        # getattr: policy unit tests drive a bare fake engine.
+        stream = getattr(engine, "stream", None)
+        base = getattr(stream, "base", 0)
+        if base:
+            self.tracker.reset_frontier(base)
         if self.config.predictor and self.config.context == "cached":
             self._predictors = [
                 ContextPredictor(

@@ -80,3 +80,8 @@ class DeadlockError(SimulationError):
 
 class ReproducibilityError(ReproError):
     """Two runs that must match bitwise did not."""
+
+
+class FaultToleranceError(ReproError):
+    """Recovery could not make progress (restart budget exhausted, or a
+    restart policy was asked to resume from state that does not exist)."""

@@ -1,0 +1,53 @@
+"""Fault tolerance and elastic recovery (``repro.ft``).
+
+NASPipe's reproducibility claim (Definitions 1-2) has a production
+consequence the paper never tests: because CSP makes the final weights a
+pure function of the subnet stream — independent of cluster timing — a
+crashed training job can resume from a *consistent* checkpoint on the
+same or a **different** GPU count and finish with bitwise-identical
+parameters.  This package builds the machinery to inject failures,
+take consistent-cut checkpoints, recover, and measure the cost:
+
+* :mod:`repro.ft.faults` — deterministic fault schedules (GPU crash,
+  host crash, NIC degradation, copy-engine stall, transient task error)
+  with explicit trigger times or seeded MTBF sampling;
+* :mod:`repro.ft.injector` — turns a schedule into first-class
+  simulation events inside a :class:`~repro.engines.pipeline.
+  PipelineEngine` run;
+* :mod:`repro.ft.checkpoint` — consistent-cut checkpointing driven by
+  the CSP frontier (undo-log construction; see
+  ``docs/FAULT_TOLERANCE.md``);
+* :mod:`repro.ft.recovery` — crash-restart / elastic-rescale driver
+  plus retry and degraded-mode policies;
+* :mod:`repro.ft.availability` — lost-virtual-time, recovery-latency
+  and goodput accounting, including MTBF sweeps.
+"""
+
+from repro.ft.availability import availability_summary, format_availability, mtbf_sweep
+from repro.ft.checkpoint import Checkpoint, CheckpointManager, restore_checkpoint
+from repro.ft.faults import FATAL_KINDS, FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.ft.injector import FaultInjector
+from repro.ft.recovery import (
+    FaultedRunResult,
+    RecoverySpec,
+    run_uninterrupted,
+    run_with_recovery,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FATAL_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "Checkpoint",
+    "CheckpointManager",
+    "restore_checkpoint",
+    "RecoverySpec",
+    "FaultedRunResult",
+    "run_uninterrupted",
+    "run_with_recovery",
+    "availability_summary",
+    "format_availability",
+    "mtbf_sweep",
+]

@@ -1,0 +1,158 @@
+"""Fault injection: schedules become first-class simulation events.
+
+The injector binds one :class:`~repro.ft.faults.FaultSchedule` to one
+:class:`~repro.engines.pipeline.PipelineEngine` attempt.  Each attempt
+runs on a *local* virtual clock starting at 0; the injector carries the
+``offset`` between the global fault clock and the attempt's local clock
+(the virtual time consumed by earlier attempts plus restart downtime), so
+one schedule drives a whole crash-restart history and no fault fires
+twice.
+
+Effects:
+
+* fatal kinds (``gpu_crash`` / ``host_crash``) hand control to the
+  engine's :meth:`~repro.engines.pipeline.PipelineEngine._on_fatal_fault`
+  — the event queue is cleared (fail-stop: in-flight work vanishes) and
+  the run returns interrupted;
+* ``nic_degrade`` scales the target inter-stage links' bandwidth down by
+  ``magnitude`` and schedules the restoration — degraded-mode continue;
+* ``copy_stall`` pushes the target stage's PCIe copy engine ``next_free``
+  forward, delaying prefetches behind it;
+* ``task_error`` arms the target stage: the next ``magnitude`` task
+  dispatches there fail transiently and the engine retries them with
+  exponential backoff (:meth:`take_task_fault`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.ft import faults as F
+from repro.ft.faults import FaultEvent, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engines.pipeline import PipelineEngine
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives one schedule into one engine attempt."""
+
+    #: first transient-retry backoff; doubles per consecutive retry
+    TASK_RETRY_BASE_MS = 2.0
+
+    def __init__(self, schedule: FaultSchedule, offset: float = 0.0) -> None:
+        self.schedule = schedule
+        self.offset = offset
+        self.engine: "PipelineEngine | None" = None
+        #: pending armed transient failures per stage
+        self._armed: Dict[int, int] = {}
+        #: consecutive retries taken per stage since the last success
+        self._attempts: Dict[int, int] = {}
+        self._handles: List[object] = []
+        self.fault_count = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, engine: "PipelineEngine") -> None:
+        """Schedule every not-yet-fired fault into the engine's queue."""
+        self.engine = engine
+        for event in self.schedule:
+            local = event.time_ms - self.offset
+            if local < 0:
+                continue  # fired during an earlier attempt
+            if not self._applicable(event, engine):
+                continue
+            handle = engine.sim.schedule(
+                local,
+                lambda event=event: self._fire(event),
+                label=f"fault {event.kind}@{event.target}",
+            )
+            self._handles.append(handle)
+
+    @staticmethod
+    def _applicable(event: FaultEvent, engine: "PipelineEngine") -> bool:
+        """Whether the target exists on this attempt's cluster.
+
+        An elastic restart may run on fewer GPUs than the schedule was
+        written for; faults aimed at hardware the new cluster doesn't
+        have are skipped rather than remapped.
+        """
+        if event.kind == F.HOST_CRASH:
+            return event.target < engine.cluster.spec.num_hosts
+        if event.kind == F.NIC_DEGRADE:
+            return event.target < len(engine.cluster.forward_links)
+        return event.target < engine.stages
+
+    def cancel_pending(self) -> None:
+        """Drop faults that have not fired yet (the run completed)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    # ------------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        engine = self.engine
+        assert engine is not None
+        now = engine.sim.now
+        self.fault_count += 1
+        engine.trace.record_event(
+            "fault_inject",
+            now,
+            fault=event.kind,
+            target=event.target,
+            duration_ms=event.duration_ms,
+            magnitude=event.magnitude,
+        )
+        if event.fatal:
+            engine._on_fatal_fault(event)
+        elif event.kind == F.NIC_DEGRADE:
+            self._degrade_nic(engine, event, now)
+        elif event.kind == F.COPY_STALL:
+            copy_engine = engine.cluster.copy_engines[event.target]
+            copy_engine.next_free = max(copy_engine.next_free, now) + event.duration_ms
+        elif event.kind == F.TASK_ERROR:
+            self._armed[event.target] = (
+                self._armed.get(event.target, 0) + int(event.magnitude)
+            )
+
+    def _degrade_nic(
+        self, engine: "PipelineEngine", event: FaultEvent, now: float
+    ) -> None:
+        links = [
+            engine.cluster.forward_links[event.target],
+            engine.cluster.backward_links[event.target],
+        ]
+        originals = [link.bandwidth_bytes_per_ms for link in links]
+        for link in links:
+            link.bandwidth_bytes_per_ms /= event.magnitude
+
+        def restore() -> None:
+            for link, original in zip(links, originals):
+                link.bandwidth_bytes_per_ms = original
+
+        handle = engine.sim.schedule(
+            now + event.duration_ms,
+            restore,
+            label=f"nic-restore L{event.target}",
+        )
+        self._handles.append(handle)
+
+    # ------------------------------------------------------------------
+    # transient task errors (the engine polls this at dispatch)
+    # ------------------------------------------------------------------
+    def take_task_fault(self, stage: int) -> "tuple[int, float] | None":
+        """Consume one armed failure for ``stage``.
+
+        Returns ``(attempt, backoff_ms)`` when the dispatch must fail and
+        retry, or None when the task proceeds.  Backoff is exponential in
+        the number of consecutive failures the stage has absorbed.
+        """
+        armed = self._armed.get(stage, 0)
+        if armed <= 0:
+            self._attempts.pop(stage, None)
+            return None
+        self._armed[stage] = armed - 1
+        attempt = self._attempts.get(stage, 0) + 1
+        self._attempts[stage] = attempt
+        return attempt, self.TASK_RETRY_BASE_MS * (2 ** (attempt - 1))

@@ -1,0 +1,373 @@
+"""Crash-restart and elastic-rescale recovery.
+
+:func:`run_with_recovery` drives one logical training run to completion
+across any number of fail-stop faults.  Each *attempt* is a fresh
+:class:`~repro.engines.pipeline.PipelineEngine` on its own local virtual
+clock: a fresh supernet, functional plane and per-stage runtime state
+(the paper's ``L_q`` / ``L_f`` / ``L_SN`` lists rebuild naturally from
+re-injection), with
+
+* the parameter store, optimizer velocity and cached RNG streams
+  restored from the latest consistent checkpoint
+  (:class:`~repro.ft.checkpoint.CheckpointManager`);
+* the subnet stream resumed at the checkpoint's cut **with original
+  sequence IDs** — data batches and causal order are keyed by ID, so the
+  resumed prefix replays bitwise;
+* the fault schedule re-bound at a global-clock ``offset`` so faults
+  fire exactly once across the whole history;
+* optionally a **different GPU count** (elastic rescale): under CSP the
+  final weights are a pure function of the stream, so recovering on 4 or
+  8 GPUs produces the same bits — the strongest production consequence
+  of Definition 1, and the thing the recovery tests check.
+
+Recovered stages also re-warm their prefetch caches: before the first
+task dispatches, each stage prefetches its slice of the first resumed
+subnet, charging the copies to the recovery window instead of a cold
+fetch stall on the critical path.
+
+Non-fatal faults never reach this module: NIC degradation is a
+degraded-mode *continue* and transient task errors are retried with
+backoff inside the engine (see :mod:`repro.ft.injector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.config import SystemConfig
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine, PipelineResult
+from repro.errors import FaultToleranceError
+from repro.ft.checkpoint import Checkpoint, CheckpointManager
+from repro.ft.faults import FaultSchedule
+from repro.ft.injector import FaultInjector
+from repro.nn.optim import MomentumSGD
+from repro.seeding import SeedSequenceTree
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import SearchSpace
+from repro.supernet.supernet import Supernet
+
+__all__ = [
+    "RecoverySpec",
+    "AttemptRecord",
+    "FaultedRunResult",
+    "run_with_recovery",
+    "run_uninterrupted",
+]
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Restart policy knobs."""
+
+    #: take a consistent checkpoint every this many subnets
+    checkpoint_interval: int = 8
+    #: give up after this many restarts (a restart budget, not attempts)
+    max_restarts: int = 8
+    #: GPU count for restarted attempts (None = same as the original);
+    #: elastic rescale when it differs
+    restart_gpus: Optional[int] = None
+    #: virtual downtime charged per restart (detection + respawn + load)
+    restart_delay_ms: float = 50.0
+    #: re-warm each recovered stage's prefetch cache before resuming
+    rewarm: bool = True
+
+
+@dataclass
+class AttemptRecord:
+    """What one engine incarnation did."""
+
+    attempt: int
+    num_gpus: int
+    resumed_from: int  # stream cursor this attempt started at
+    interrupted: bool
+    interrupt_kind: str
+    makespan_ms: float  # local virtual time this attempt ran
+    checkpoints: List[int] = field(default_factory=list)
+    completed_kept: int = 0  # completions that survive into the merge
+    lost_virtual_ms: float = 0.0
+    recovery_latency_ms: float = 0.0
+
+
+@dataclass
+class FaultedRunResult:
+    """The merged outcome of a crash-restart history.
+
+    Duck-typed to stand in for :class:`PipelineResult` where replay
+    verification needs ``digest`` / ``losses`` / ``completion_order`` /
+    ``makespan_ms``; ``final`` is the last attempt's full result.
+    """
+
+    system: str
+    space: str
+    num_gpus: int
+    final_gpus: int
+    digest: Optional[str]
+    losses: Dict[int, float]
+    completion_order: List[int]
+    makespan_ms: float  # global virtual time, downtime included
+    subnets_completed: int
+    attempts: List[AttemptRecord]
+    results: List[PipelineResult]
+    checkpoint_cuts: List[int]
+    lost_virtual_ms: float
+    recovery_latency_ms: float
+    fault_count: int
+    task_retries: int
+
+    @property
+    def final(self) -> PipelineResult:
+        return self.results[-1]
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+
+def _completions_in_order(result: PipelineResult) -> List[int]:
+    return [
+        sid
+        for sid, _t in sorted(
+            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
+        )
+    ]
+
+
+def _default_optimizer() -> MomentumSGD:
+    # mirrors replay.py's recorded-run defaults so a faulted run and its
+    # uninterrupted baseline are directly digest-comparable
+    return MomentumSGD(0.3, 0.9, 5.0)
+
+
+def _build_stream(
+    space: SearchSpace, seed: int, steps: int, stream_kind: str
+) -> SubnetStream:
+    seeds = SeedSequenceTree(seed)
+    if stream_kind == "generational":
+        return SubnetStream.sample_generational(space, seeds, steps)
+    return SubnetStream.sample(space, seeds, steps)
+
+
+def run_uninterrupted(
+    space: SearchSpace,
+    config: SystemConfig,
+    *,
+    num_gpus: int,
+    steps: int,
+    seed: int,
+    batch: Optional[int] = None,
+    functional_batch: int = 8,
+    optimizer_factory=None,
+    stream_kind: str = "spos",
+    speed_factors=None,
+) -> PipelineResult:
+    """The fault-free baseline a recovered run is compared against."""
+    supernet = Supernet(space)
+    seeds = SeedSequenceTree(seed)
+    plane = FunctionalPlane(
+        supernet,
+        seeds,
+        functional_batch=functional_batch,
+        optimizer=(optimizer_factory or _default_optimizer)(),
+    )
+    stream = _build_stream(space, seed, steps, stream_kind)
+    engine = PipelineEngine(
+        supernet,
+        stream,
+        config,
+        ClusterSpec(num_gpus=num_gpus, gpu_speed_factors=speed_factors),
+        batch=batch,
+        functional=plane,
+    )
+    return engine.run()
+
+
+def run_with_recovery(
+    space: SearchSpace,
+    config: SystemConfig,
+    schedule: FaultSchedule,
+    *,
+    num_gpus: int,
+    steps: int,
+    seed: int,
+    checkpoint_dir: Union[str, Path],
+    spec: Optional[RecoverySpec] = None,
+    batch: Optional[int] = None,
+    functional_batch: int = 8,
+    optimizer_factory=None,
+    stream_kind: str = "spos",
+    speed_factors=None,
+    restart_speed_factors=None,
+) -> FaultedRunResult:
+    """Run ``steps`` subnets to completion despite ``schedule``.
+
+    ``speed_factors`` apply to the first attempt's cluster;
+    ``restart_speed_factors`` to every restarted attempt (so a job can
+    recover onto a slower, faster, or differently-sized replacement
+    cluster — under CSP the digest is unchanged either way).
+    """
+    spec = spec or RecoverySpec()
+    checkpoint_dir = Path(checkpoint_dir)
+    optimizer_factory = optimizer_factory or _default_optimizer
+    full_stream = list(_build_stream(space, seed, steps, stream_kind))
+
+    cursor = 0  # next subnet ID to train
+    offset = 0.0  # global virtual time consumed by earlier attempts
+    restore_from: Optional[Checkpoint] = None
+    attempt = 0
+    attempts: List[AttemptRecord] = []
+    results: List[PipelineResult] = []
+    losses: Dict[int, float] = {}
+    completion_order: List[int] = []
+    checkpoint_cuts: List[int] = []
+    total_lost = 0.0
+    total_recovery_latency = 0.0
+    total_faults = 0
+    total_retries = 0
+
+    while True:
+        attempt += 1
+        if attempt - 1 > spec.max_restarts:
+            raise FaultToleranceError(
+                f"restart budget exhausted: {spec.max_restarts} restarts, "
+                f"still at subnet {cursor}/{steps}"
+            )
+        gpus = num_gpus if attempt == 1 else (spec.restart_gpus or num_gpus)
+        speeds = speed_factors if attempt == 1 else restart_speed_factors
+
+        supernet = Supernet(space)
+        seeds = SeedSequenceTree(seed)
+        plane = FunctionalPlane(
+            supernet,
+            seeds,
+            functional_batch=functional_batch,
+            optimizer=optimizer_factory(),
+        )
+        if restore_from is not None:
+            restore_from.restore(plane)
+        stream = SubnetStream(full_stream[cursor:], start=cursor)
+        injector = FaultInjector(schedule, offset=offset)
+        manager = CheckpointManager(
+            plane,
+            checkpoint_dir,
+            spec.checkpoint_interval,
+            base=cursor,
+            end=steps,
+            time_offset=offset,
+            meta={"seed": seed, "steps": steps, "attempt": attempt},
+        )
+        engine = PipelineEngine(
+            supernet,
+            stream,
+            config,
+            ClusterSpec(num_gpus=gpus, gpu_speed_factors=speeds),
+            batch=batch,
+            functional=plane,
+            faults=injector,
+            checkpoints=manager,
+        )
+
+        recovery_latency = 0.0
+        if attempt > 1:
+            for stage in range(engine.stages):
+                engine.trace.record_event(
+                    "gpu_up", 0.0, stage=stage, attempt=attempt
+                )
+            engine.trace.record_event(
+                "recovery_begin", 0.0, cut=cursor, attempt=attempt, gpus=gpus
+            )
+            rewarmed = 0
+            if spec.rewarm and engine.contexts is not None and stream.remaining:
+                first = full_stream[cursor]
+                for stage in range(engine.stages):
+                    start, stop = engine.home_partition[stage]
+                    layers = first.layers_in_range(start, stop)
+                    engine.prefetch_context(stage, layers)
+                    rewarmed += len(layers)
+            copy_warm = max(
+                (ce.next_free for ce in engine.cluster.copy_engines),
+                default=0.0,
+            )
+            recovery_latency = spec.restart_delay_ms + copy_warm
+            total_recovery_latency += recovery_latency
+            engine.trace.record_event(
+                "recovery_done",
+                0.0,
+                cut=cursor,
+                attempt=attempt,
+                latency_ms=recovery_latency,
+                rewarmed=rewarmed,
+            )
+
+        result = engine.run()
+        results.append(result)
+        total_faults += result.fault_count
+        total_retries += result.task_retries
+        record = AttemptRecord(
+            attempt=attempt,
+            num_gpus=gpus,
+            resumed_from=cursor,
+            interrupted=result.interrupted,
+            interrupt_kind=result.interrupt_kind,
+            makespan_ms=result.makespan_ms,
+            checkpoints=[c.cut for c in manager.commits],
+            recovery_latency_ms=recovery_latency,
+        )
+        checkpoint_cuts.extend(c.cut for c in manager.commits)
+
+        if not result.interrupted:
+            kept = _completions_in_order(result)
+            completion_order.extend(kept)
+            for sid in kept:
+                if sid in result.losses:
+                    losses[sid] = result.losses[sid]
+            record.completed_kept = len(kept)
+            attempts.append(record)
+            return FaultedRunResult(
+                system=config.name,
+                space=space.name,
+                num_gpus=num_gpus,
+                final_gpus=gpus,
+                digest=result.digest,
+                losses=losses,
+                completion_order=completion_order,
+                makespan_ms=offset + result.makespan_ms,
+                subnets_completed=len(completion_order),
+                attempts=attempts,
+                results=results,
+                checkpoint_cuts=checkpoint_cuts,
+                lost_virtual_ms=total_lost,
+                recovery_latency_ms=total_recovery_latency,
+                fault_count=total_faults,
+                task_retries=total_retries,
+            )
+
+        # -- crashed: roll back to the latest consistent cut -----------
+        crash_local = result.interrupt_time_ms
+        latest = manager.latest()
+        if latest is not None:
+            restore_from = latest
+            new_cursor = latest.cut
+            lost = crash_local - (latest.time_ms - offset)
+        else:
+            # no new checkpoint this attempt: resume from the previous
+            # one (or from scratch) — the whole attempt's progress since
+            # then is lost
+            new_cursor = cursor
+            lost = crash_local
+        record.lost_virtual_ms = lost
+        total_lost += lost
+        kept = [
+            sid for sid in _completions_in_order(result) if sid < new_cursor
+        ]
+        completion_order.extend(kept)
+        for sid in kept:
+            if sid in result.losses:
+                losses[sid] = result.losses[sid]
+        record.completed_kept = len(kept)
+        attempts.append(record)
+        cursor = new_cursor
+        offset += crash_local + spec.restart_delay_ms

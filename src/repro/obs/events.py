@@ -250,6 +250,86 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             EventField("events_processed", _INT, "cumulative sim events"),
             stage_scoped=False,
         ),
+        # -- fault tolerance (repro.ft) --------------------------------
+        _schema(
+            "fault_inject",
+            "repro.ft.injector",
+            "A scheduled fault fired on the simulation clock; the "
+            "kind-specific effect (crash, link degrade, copy stall, "
+            "transient arm) follows immediately.",
+            EventField("fault", _STR, "fault kind (see repro.ft.faults)"),
+            EventField("target", _INT, "stage / host / link index"),
+            EventField("duration_ms", _NUMBER, "effect window (0 = point)"),
+            EventField("magnitude", _NUMBER, "kind-specific severity"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "gpu_down",
+            "repro.engines.pipeline",
+            "Fail-stop: the stage's GPU (or its whole host) died; "
+            "in-flight work on it vanished and the run is interrupted.",
+            EventField("cause", _STR, '"gpu_crash" or "host_crash"'),
+            EventField("down_ms", _NUMBER, "declared outage length"),
+        ),
+        _schema(
+            "gpu_up",
+            "repro.ft.recovery",
+            "A recovered attempt brought this stage online (possibly on "
+            "a different GPU count than the crashed attempt).",
+            EventField("attempt", _INT, "1-based attempt number"),
+        ),
+        _schema(
+            "checkpoint_begin",
+            "repro.ft.checkpoint",
+            "The completion frontier reached an open cut; the consistent "
+            "snapshot (store overlaid with the cut's undo log) starts "
+            "serialising.",
+            EventField("cut", _INT, "cut point (next subnet ID to train)"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "checkpoint_commit",
+            "repro.ft.checkpoint",
+            "The cut's parameters, optimizer velocity and RNG state are "
+            "durable on disk; recovery may resume from here.",
+            EventField("cut", _INT, "cut point (next subnet ID to train)"),
+            EventField("layers", _INT, "materialised layers captured"),
+            EventField("nbytes", _INT, "serialised array bytes"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "recovery_begin",
+            "repro.ft.recovery",
+            "A restarted attempt begins: state restored from the latest "
+            "consistent cut, stream resumed at the cut with original "
+            "sequence IDs.",
+            EventField("cut", _INT, "resume point"),
+            EventField("attempt", _INT, "1-based attempt number"),
+            EventField("gpus", _INT, "GPU count of this attempt"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "recovery_done",
+            "repro.ft.recovery",
+            "The restarted attempt is ready to dispatch: restart "
+            "downtime charged, prefetch caches re-warmed.",
+            EventField("cut", _INT, "resume point"),
+            EventField("attempt", _INT, "1-based attempt number"),
+            EventField("latency_ms", _NUMBER, "downtime + re-warm cost"),
+            EventField("rewarmed", _INT, "layers prefetched before resume"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "task_retry",
+            "repro.engines.pipeline",
+            "A transient task error (repro.ft fault injection) failed "
+            "this dispatch; the stage stalls for an exponential backoff "
+            "and retries.",
+            EventField("attempt", _INT, "consecutive failures at the stage"),
+            EventField("delay_ms", _NUMBER, "backoff before the retry"),
+            EventField("direction", _STR, '"fwd" or "bwd"'),
+            subnet_scoped=True,
+        ),
     )
 }
 

@@ -239,6 +239,63 @@ def to_perfetto(
                     "args": {"subnet": event.subnet_id},
                 }
             )
+        elif event.kind == "fault_inject":
+            events.append(
+                {
+                    "name": f"fault {attrs['fault']}@{attrs['target']}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_GPU,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind in ("gpu_down", "gpu_up"):
+            events.append(
+                {
+                    "name": f"{event.kind} P{event.stage}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": _PID_GPU,
+                    "tid": event.stage,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind == "task_retry":
+            events.append(
+                {
+                    "name": f"SN{event.subnet_id} transient retry",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID_GPU,
+                    "tid": event.stage,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind in (
+            "checkpoint_begin",
+            "checkpoint_commit",
+            "recovery_begin",
+            "recovery_done",
+        ):
+            events.append(
+                {
+                    "name": f"{event.kind} cut {attrs['cut']}",
+                    "cat": "checkpoint",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
         # task_dispatch/task_done/fetch_stall/subnet_inject/csp_wait_*/
         # sim_quiescent are covered by the interval, wait-window and
         # summary renderings; prefetch_land by the issue span.

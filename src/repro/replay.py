@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.baselines import system_by_name
 from repro.config import SystemConfig
@@ -60,11 +61,18 @@ class RunManifest:
     learning_rate: float
     momentum: float
     max_grad_norm: Optional[float]
+    # fault tolerance (repro.ft): a faulted run is replayable too — the
+    # fault schedule and recovery policy are part of the run's identity
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
+    checkpoint_interval: Optional[int] = None
+    recovery_gpus: Optional[int] = None
     # recorded outcome
     digest: Optional[str] = None
     losses: Dict[str, float] = field(default_factory=dict)
     completion_order: List[int] = field(default_factory=list)
     makespan_ms: Optional[float] = None
+    checkpoint_cuts: List[int] = field(default_factory=list)
+    attempts: Optional[int] = None
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
@@ -112,6 +120,9 @@ def _build_manifest(
     learning_rate: float = 0.3,
     momentum: float = 0.9,
     max_grad_norm: Optional[float] = 5.0,
+    fault_events: Optional[List[Dict[str, object]]] = None,
+    checkpoint_interval: Optional[int] = None,
+    recovery_gpus: Optional[int] = None,
 ) -> RunManifest:
     return RunManifest(
         version=_MANIFEST_VERSION,
@@ -128,11 +139,27 @@ def _build_manifest(
         learning_rate=learning_rate,
         momentum=momentum,
         max_grad_norm=max_grad_norm,
+        fault_events=list(fault_events or []),
+        checkpoint_interval=checkpoint_interval,
+        recovery_gpus=recovery_gpus,
     )
 
 
-def execute_manifest(manifest: RunManifest) -> PipelineResult:
-    """Run the training described by ``manifest`` and return the result."""
+def execute_manifest(
+    manifest: RunManifest,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+):
+    """Run the training described by ``manifest`` and return the result.
+
+    A manifest with ``fault_events`` replays the full crash-restart
+    history through :func:`repro.ft.recovery.run_with_recovery` (the
+    checkpoints go to ``checkpoint_dir``, or a temporary directory when
+    none is given) and returns a
+    :class:`~repro.ft.recovery.FaultedRunResult`; otherwise a plain
+    :class:`PipelineResult`.
+    """
+    if manifest.fault_events:
+        return _execute_faulted(manifest, checkpoint_dir)
     space = manifest.resolve_space()
     supernet = Supernet(space)
     seeds = SeedSequenceTree(manifest.seed)
@@ -159,27 +186,77 @@ def execute_manifest(manifest: RunManifest) -> PipelineResult:
     return engine.run()
 
 
+def _execute_faulted(
+    manifest: RunManifest, checkpoint_dir: Optional[Union[str, Path]]
+):
+    from repro.ft.faults import FaultSchedule
+    from repro.ft.recovery import RecoverySpec, run_with_recovery
+
+    schedule = FaultSchedule.from_payload(manifest.fault_events)
+    spec = RecoverySpec(
+        checkpoint_interval=manifest.checkpoint_interval or 8,
+        restart_gpus=manifest.recovery_gpus,
+    )
+
+    def run(directory: Union[str, Path]):
+        return run_with_recovery(
+            manifest.resolve_space(),
+            manifest.resolve_system(),
+            schedule,
+            num_gpus=manifest.num_gpus,
+            steps=manifest.steps,
+            seed=manifest.seed,
+            checkpoint_dir=directory,
+            spec=spec,
+            batch=manifest.batch,
+            functional_batch=manifest.functional_batch,
+            optimizer_factory=lambda: MomentumSGD(
+                manifest.learning_rate, manifest.momentum, manifest.max_grad_norm
+            ),
+            stream_kind=manifest.stream_kind,
+        )
+
+    if checkpoint_dir is not None:
+        return run(checkpoint_dir)
+    with tempfile.TemporaryDirectory(prefix="naspipe-ckpt-") as tmp:
+        return run(tmp)
+
+
+def _completion_order(result) -> List[int]:
+    # FaultedRunResult carries a merged order; PipelineResult derives it
+    # from the trace.
+    order = getattr(result, "completion_order", None)
+    if order is not None:
+        return list(order)
+    return [
+        sid
+        for sid, _t in sorted(
+            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
+        )
+    ]
+
+
 def record_run(space_name: str, system_name: str, **kwargs) -> RunManifest:
     """Execute a fresh run and return its manifest with outcomes filled."""
     manifest = _build_manifest(space_name, system_name, **kwargs)
     result = execute_manifest(manifest)
     manifest.digest = result.digest
     manifest.losses = {str(sid): loss for sid, loss in result.losses.items()}
-    manifest.completion_order = [
-        sid
-        for sid, _t in sorted(
-            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
-        )
-    ]
+    manifest.completion_order = _completion_order(result)
     manifest.makespan_ms = result.makespan_ms
+    manifest.checkpoint_cuts = list(getattr(result, "checkpoint_cuts", []))
+    manifest.attempts = getattr(result, "num_attempts", 1)
     return manifest
 
 
-def verify_replay(manifest: RunManifest) -> PipelineResult:
+def verify_replay(manifest: RunManifest):
     """Re-execute ``manifest`` and check every recorded fingerprint.
 
     Raises :class:`ReproducibilityError` on the first mismatch; returns
-    the fresh result when everything matches.
+    the fresh result when everything matches.  Length mismatches fail
+    loudly *before* elementwise comparison: a replay that completed a
+    different number of subnets than the recorded run is reported as
+    such, not as the first element that happens to differ.
     """
     if manifest.digest is None:
         raise ReproducibilityError("manifest has no recorded outcome to verify")
@@ -188,6 +265,22 @@ def verify_replay(manifest: RunManifest) -> PipelineResult:
         raise ReproducibilityError(
             f"replay digest {result.digest} != recorded {manifest.digest}"
         )
+    fresh_order = _completion_order(result)
+    if len(fresh_order) != len(manifest.completion_order):
+        raise ReproducibilityError(
+            f"replay completed {len(fresh_order)} subnets, recorded run "
+            f"completed {len(manifest.completion_order)} — the runs are "
+            "not the same length"
+        )
+    recorded_loss_ids = {int(sid) for sid in manifest.losses}
+    fresh_loss_ids = set(result.losses)
+    if recorded_loss_ids != fresh_loss_ids:
+        missing = sorted(recorded_loss_ids - fresh_loss_ids)
+        extra = sorted(fresh_loss_ids - recorded_loss_ids)
+        raise ReproducibilityError(
+            f"replay loss set differs from recorded: missing {missing}, "
+            f"unexpected {extra}"
+        )
     for sid_str, recorded_loss in manifest.losses.items():
         fresh = result.losses.get(int(sid_str))
         if fresh != recorded_loss:
@@ -195,16 +288,16 @@ def verify_replay(manifest: RunManifest) -> PipelineResult:
                 f"replay loss for subnet {sid_str}: {fresh!r} != "
                 f"recorded {recorded_loss!r}"
             )
-    fresh_order = [
-        sid
-        for sid, _t in sorted(
-            result.trace.subnet_completion_times.items(), key=lambda kv: kv[1]
-        )
-    ]
     if fresh_order != manifest.completion_order:
         raise ReproducibilityError("replay completion order differs")
     if result.makespan_ms != manifest.makespan_ms:
         raise ReproducibilityError(
             f"replay makespan {result.makespan_ms} != {manifest.makespan_ms}"
+        )
+    fresh_cuts = list(getattr(result, "checkpoint_cuts", []))
+    if manifest.checkpoint_cuts and fresh_cuts != manifest.checkpoint_cuts:
+        raise ReproducibilityError(
+            f"replay checkpoint cuts {fresh_cuts} != recorded "
+            f"{manifest.checkpoint_cuts}"
         )
     return result

@@ -76,5 +76,41 @@ class SeedSequenceTree:
         """Return a sub-tree rooted at the child seed for ``name``."""
         return SeedSequenceTree(self.seed_for(name))
 
+    # ------------------------------------------------------------------
+    # checkpointing (repro.ft): cached stream states survive a restart
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of every *cached* named stream.
+
+        Consumers that hold a generator from :meth:`generator` advance
+        its state across calls; a crash-restart must resume those streams
+        mid-sequence, not from their pristine seeds.  (Streams obtained
+        via :meth:`fresh_generator` are pure functions of their name and
+        need no snapshot.)
+        """
+        return {
+            "root_seed": self.root_seed,
+            "streams": {
+                name: generator.bit_generator.state
+                for name, generator in sorted(self._generators.items())
+            },
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Restore cached streams captured by :meth:`snapshot_state`.
+
+        The snapshot must come from a tree with the same root seed —
+        restoring another run's streams would silently break the
+        seed-to-stream mapping Definition 1 relies on.
+        """
+        if snapshot.get("root_seed") != self.root_seed:
+            raise ValueError(
+                f"snapshot root seed {snapshot.get('root_seed')} != "
+                f"tree root seed {self.root_seed}"
+            )
+        for name, state in snapshot.get("streams", {}).items():
+            generator = self.generator(name)
+            generator.bit_generator.state = state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SeedSequenceTree(root_seed={self.root_seed})"

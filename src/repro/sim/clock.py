@@ -87,6 +87,14 @@ class EventQueue:
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
 
+    def clear(self) -> int:
+        """Drop every pending event (a fail-stop crash: in-flight work
+        vanishes, the clock stays where it is).  Returns the number of
+        live events discarded."""
+        dropped = len(self)
+        self._heap.clear()
+        return dropped
+
     def peek_time(self) -> Optional[float]:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

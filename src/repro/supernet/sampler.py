@@ -163,14 +163,16 @@ class SubnetStream:
     stream — the whole point of reproducibility comparisons.
     """
 
-    def __init__(self, subnets: Sequence[Subnet]) -> None:
+    def __init__(self, subnets: Sequence[Subnet], start: int = 0) -> None:
         for position, subnet in enumerate(subnets):
-            if subnet.subnet_id != position:
+            if subnet.subnet_id != start + position:
                 raise SearchSpaceError(
                     f"stream position {position} holds subnet id "
-                    f"{subnet.subnet_id}; ids must be dense and ordered"
+                    f"{subnet.subnet_id}; ids must be dense and ordered "
+                    f"from {start}"
                 )
         self._subnets = list(subnets)
+        self._base = start
         self._cursor = 0
 
     @classmethod
@@ -197,7 +199,7 @@ class SubnetStream:
         return len(self._subnets)
 
     def __getitem__(self, subnet_id: int) -> Subnet:
-        return self._subnets[subnet_id]
+        return self._subnets[subnet_id - self._base]
 
     def __iter__(self) -> Iterator[Subnet]:
         return iter(self._subnets)
@@ -218,6 +220,23 @@ class SubnetStream:
     @property
     def remaining(self) -> int:
         return len(self._subnets) - self._cursor
+
+    @property
+    def base(self) -> int:
+        """First sequence ID in the stream — 0 for a fresh run, the
+        resume cut for a recovery slice (ids are preserved across a
+        restart so data batches and causal order replay bitwise)."""
+        return self._base
+
+    def slice_from(self, start: int) -> "SubnetStream":
+        """The sub-stream of ids >= ``start``, keeping original ids —
+        what a recovered run consumes after restoring the checkpoint at
+        cut ``start``."""
+        if start < self._base:
+            raise SearchSpaceError(
+                f"cannot slice from {start}: stream starts at {self._base}"
+            )
+        return SubnetStream(self._subnets[start - self._base:], start=start)
 
 
 def interleave_streams(streams: Sequence[Sequence[Subnet]]) -> SubnetStream:

@@ -154,3 +154,80 @@ def test_speed_factor_validation():
     with pytest.raises(ConfigError):
         ClusterSpec(num_gpus=2, gpu_speed_factors=(1.0, 0.0))
     assert ClusterSpec(num_gpus=2, gpu_speed_factors=(1.0, 2.0)).speed_factor(1) == 2.0
+
+
+# ----------------------------------------------------------------------
+# consistent-cut checkpoints (repro.ft) across cluster shapes
+# ----------------------------------------------------------------------
+def test_consistent_cut_restart_across_gpu_count_and_speeds(ckpt_space, tmp_path):
+    """The full elastic story in one scenario: train on a heterogeneous
+    4-GPU cluster, crash mid-stream, recover from the consistent cut on
+    a *differently-throttled 8-GPU* cluster — bitwise identical to the
+    fault-free run.  The cut carries parameters, optimizer velocity,
+    sampler RNG state and the stream cursor; all four must round-trip
+    for this to hold."""
+    from repro.ft import FaultEvent, FaultSchedule, RecoverySpec, run_uninterrupted, run_with_recovery
+
+    baseline = run_uninterrupted(
+        ckpt_space,
+        naspipe(),
+        num_gpus=4,
+        steps=20,
+        seed=9,
+        speed_factors=(1.0, 2.0, 1.0, 1.5),
+    )
+    schedule = FaultSchedule(
+        [FaultEvent("gpu_crash", baseline.makespan_ms * 0.55, target=2)]
+    )
+    recovered = run_with_recovery(
+        ckpt_space,
+        naspipe(),
+        schedule,
+        num_gpus=4,
+        steps=20,
+        seed=9,
+        checkpoint_dir=tmp_path,
+        spec=RecoverySpec(checkpoint_interval=6, restart_gpus=8),
+        speed_factors=(1.0, 2.0, 1.0, 1.5),
+        restart_speed_factors=(1.0, 0.8, 1.1, 2.0, 1.0, 1.0, 3.0, 1.0),
+    )
+    assert recovered.num_attempts == 2
+    assert recovered.final_gpus == 8
+    assert recovered.digest == baseline.digest
+    assert recovered.losses == baseline.losses
+
+
+def test_checkpoint_meta_records_cursor_and_restores(ckpt_space, tmp_path):
+    """Each committed cut's meta.json is self-describing: the cut *is*
+    the resume cursor, and loading the directory restores params,
+    velocity and RNG into a fresh plane."""
+    from repro.ft import Checkpoint, FaultEvent, FaultSchedule, RecoverySpec, run_uninterrupted, run_with_recovery
+
+    baseline = run_uninterrupted(ckpt_space, naspipe(), num_gpus=4, steps=20, seed=9)
+    result = run_with_recovery(
+        ckpt_space,
+        naspipe(),
+        FaultSchedule([FaultEvent("gpu_crash", baseline.makespan_ms * 0.6, target=0)]),
+        num_gpus=4,
+        steps=20,
+        seed=9,
+        checkpoint_dir=tmp_path,
+        spec=RecoverySpec(checkpoint_interval=6),
+    )
+    assert result.checkpoint_cuts
+    cut = result.checkpoint_cuts[0]
+    loaded = Checkpoint.load(tmp_path / f"ckpt_{cut:06d}")
+    assert loaded.cut == cut
+    assert loaded.meta["seed"] == 9
+    assert loaded.meta["steps"] == 20
+
+    supernet = Supernet(ckpt_space)
+    plane = FunctionalPlane(
+        supernet,
+        SeedSequenceTree(9),
+        functional_batch=8,
+        optimizer=MomentumSGD(0.3, 0.9, 5.0),
+    )
+    loaded.restore(plane)
+    assert plane.store.digest() == loaded.digest
+    assert plane.seeds.snapshot_state() == loaded.rng_state

@@ -59,3 +59,40 @@ def test_demo_command(capsys):
     out = capsys.readouterr().out
     assert "NASPipe demo" in out
     assert "GPU0" in out and "fwd-start" in out
+
+
+def test_faults_command(tmp_path, capsys):
+    import json
+
+    config = tmp_path / "faults.json"
+    config.write_text(
+        json.dumps(
+            {
+                "space": "NLP.c3",
+                "space_overrides": {"num_blocks": 8, "functional_width": 16},
+                "system": "NASPipe",
+                "num_gpus": 4,
+                "subnets": 16,
+                "seed": 11,
+                "checkpoint_interval": 8,
+                "recovery_gpus": 8,
+                "faults": [
+                    {"kind": "gpu_crash", "time_ms": 400.0, "target": 1}
+                ],
+            }
+        )
+    )
+    out_json = tmp_path / "availability.json"
+    assert main(["faults", str(config), "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "IDENTICAL to fault-free run" in out
+    assert "goodput" in out
+    summary = json.loads(out_json.read_text())
+    assert summary["digest_matches_baseline"] is True
+    assert summary["crashes"] == 1
+    assert summary["final_gpus"] == 8
+
+
+def test_faults_command_requires_config():
+    with pytest.raises(SystemExit):
+        main(["faults"])

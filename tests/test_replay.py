@@ -79,3 +79,84 @@ def test_different_seeds_give_different_digests():
     a = record_run("NLP.c3", "NASPipe", **{**_KWARGS, "seed": 1})
     b = record_run("NLP.c3", "NASPipe", **{**_KWARGS, "seed": 2})
     assert a.digest != b.digest
+
+
+# ----------------------------------------------------------------------
+# faulted-run manifests (repro.ft)
+# ----------------------------------------------------------------------
+_FAULT_KWARGS = dict(
+    space_overrides={"num_blocks": 8, "functional_width": 16},
+    num_gpus=4,
+    seed=11,
+    steps=16,
+    checkpoint_interval=8,
+)
+
+
+@pytest.fixture(scope="module")
+def faulted_manifest():
+    from repro.ft import FaultEvent, FaultSchedule
+
+    schedule = FaultSchedule([FaultEvent("gpu_crash", 400.0, target=1)])
+    return record_run(
+        "NLP.c3",
+        "NASPipe",
+        fault_events=schedule.to_payload(),
+        **_FAULT_KWARGS,
+    )
+
+
+def test_faulted_manifest_records_recovery_outcome(faulted_manifest):
+    assert faulted_manifest.fault_events
+    assert faulted_manifest.attempts == 2
+    assert faulted_manifest.checkpoint_cuts == [8]
+    assert faulted_manifest.digest is not None
+    assert len(faulted_manifest.completion_order) == 16
+
+
+def test_faulted_manifest_verifies_bitwise(faulted_manifest):
+    result = verify_replay(faulted_manifest)
+    assert result.num_attempts == 2
+
+
+def test_faulted_manifest_json_roundtrip(faulted_manifest, tmp_path):
+    path = tmp_path / "faulted.json"
+    faulted_manifest.save(path)
+    loaded = RunManifest.load(path)
+    assert loaded == faulted_manifest
+    verify_replay(loaded)
+
+
+def test_faulted_manifest_matches_fault_free_digest(faulted_manifest):
+    """repro-check for faulted runs: the crash-restart history lands on
+    the same bits as the never-crashed manifest."""
+    clean = record_run(
+        "NLP.c3",
+        "NASPipe",
+        **{k: v for k, v in _FAULT_KWARGS.items() if k != "checkpoint_interval"},
+    )
+    assert faulted_manifest.digest == clean.digest
+
+
+def test_completion_length_mismatch_fails_loudly(manifest):
+    tampered = RunManifest.from_json(manifest.to_json())
+    tampered.completion_order = tampered.completion_order[:-2]
+    del tampered.losses[next(iter(tampered.losses))]
+    with pytest.raises(ReproducibilityError, match="not the same length"):
+        verify_replay(tampered)
+
+
+def test_loss_key_set_mismatch_fails_loudly(manifest):
+    tampered = RunManifest.from_json(manifest.to_json())
+    removed = next(iter(tampered.losses))
+    loss = tampered.losses.pop(removed)
+    tampered.losses["999"] = loss  # same count, different subnet ids
+    with pytest.raises(ReproducibilityError, match="loss set differs"):
+        verify_replay(tampered)
+
+
+def test_tampered_checkpoint_cuts_detected(faulted_manifest):
+    tampered = RunManifest.from_json(faulted_manifest.to_json())
+    tampered.checkpoint_cuts = [4]
+    with pytest.raises(ReproducibilityError, match="checkpoint cuts"):
+        verify_replay(tampered)
