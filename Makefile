@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo faults-demo clean
+.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo faults-demo chaos-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -34,6 +34,10 @@ trace-demo:
 faults-demo:
 	python -m repro faults examples/faults_demo.json \
 		--json faults_demo.availability.json
+
+chaos-smoke:
+	python -m repro chaos examples/chaos_demo.json --seeds 10 \
+		--json chaos_smoke.report.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -35,6 +35,7 @@ _EXPERIMENTS = (
     "dag-bound",
     "scheduler-cost",
     "ranking",
+    "straggler",
     "repro-check",
     "demo",
 )
@@ -143,6 +144,10 @@ def _run_one(name: str, args) -> str:
 
         rows = ranking.run(seed=args.seed)
         return ranking.format_text(rows) + _maybe_csv(name, rows, args)
+    if name == "straggler":
+        from repro.experiments import straggler
+
+        return straggler.format_text(straggler.run(seed=args.seed))
     if name == "repro-check":
         return _repro_check(args.seed)
     if name == "demo":
@@ -298,6 +303,66 @@ def _faults(args) -> str:
     return "\n".join(lines)
 
 
+def _chaos(args) -> str:
+    """``naspipe chaos <config>``: seeded randomized robustness sweep.
+
+    Draws ``--seeds`` non-fatal fault schedules per GPU count, runs each
+    with the degradation manager armed, and checks the invariant suite
+    (completion, bitwise digest vs the unfaulted baseline, trace
+    validity, memory cap, bubble accounting).  Exits non-zero on any
+    violation, so the sweep is CI-gateable (``make chaos-smoke``).
+
+    The config is a small JSON object, e.g. ``examples/chaos_demo.json``::
+
+        {"space": "NLP.c3", "space_overrides": {"num_blocks": 8},
+         "system": "NASPipe", "gpus": [2, 4], "subnets": 12,
+         "seed": 2022, "mtbf_fraction": 0.1}
+
+    ``--json PATH`` also writes the machine-readable sweep report.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.baselines import system_by_name
+    from repro.ft import chaos_sweep, format_chaos_report
+    from repro.supernet.search_space import get_search_space
+
+    config_path = Path(args.config)
+    config = json.loads(config_path.read_text())
+    space = get_search_space(config.get("space", "NLP.c3"))
+    if config.get("space_overrides"):
+        space = space.scaled(**config["space_overrides"])
+    system = system_by_name(
+        config.get("system", "NASPipe"), **config.get("overrides", {})
+    )
+    gpus = config.get("gpus") or [int(config.get("num_gpus", 4))]
+    report = chaos_sweep(
+        space,
+        system,
+        scenarios=args.seeds,
+        gpus=[int(g) for g in gpus],
+        steps=int(config.get("subnets", 12)),
+        seed=int(config.get("seed", args.seed)),
+        mtbf_fraction=float(config.get("mtbf_fraction", 0.1)),
+        stall_ms=float(config.get("stall_ms", 20.0)),
+        nic_slowdown=float(config.get("nic_slowdown", 4.0)),
+        degradation=config.get("degradation", True),
+        batch=config.get("batch"),
+    )
+    text = format_chaos_report(report)
+    if args.json:
+        out = Path(args.json)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        text += f"\n[chaos report written to {out}]"
+    if not report["ok"]:
+        print(text)
+        raise SystemExit(
+            f"chaos sweep failed: {len(report['violations'])} invariant "
+            "violation(s)"
+        )
+    return text
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -391,16 +456,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("trace", "faults", "all", "list"),
+        choices=_EXPERIMENTS + ("trace", "faults", "chaos", "all", "list"),
         help="which table/figure to regenerate ('trace' exports a "
         "Perfetto-compatible run trace; 'faults' runs a fault-injection "
-        "scenario with recovery)",
+        "scenario with recovery; 'chaos' runs a seeded randomized "
+        "robustness sweep)",
     )
     parser.add_argument(
         "config",
         nargs="?",
-        help="trace/faults: JSON run config (see examples/trace_demo.json "
-        "and examples/faults_demo.json)",
+        help="trace/faults/chaos: JSON run config (see "
+        "examples/trace_demo.json, examples/faults_demo.json and "
+        "examples/chaos_demo.json)",
     )
     parser.add_argument(
         "--scale",
@@ -429,7 +496,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="scheduler-cost: run the stream-scaling benchmark and write "
         "its payload (BENCH_scheduler.json) here; faults: write the "
-        "machine-readable availability summary here",
+        "machine-readable availability summary here; chaos: write the "
+        "machine-readable sweep report here",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="chaos: number of seeded fault schedules per GPU count",
     )
     parser.add_argument(
         "--baseline",
@@ -457,7 +531,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(_EXPERIMENTS + ("trace", "faults")))
+        print("\n".join(_EXPERIMENTS + ("trace", "faults", "chaos")))
         return 0
 
     if args.experiment == "trace":
@@ -470,6 +544,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.config:
             parser.error("faults requires a JSON run config path")
         print(_faults(args))
+        return 0
+
+    if args.experiment == "chaos":
+        if not args.config:
+            parser.error("chaos requires a JSON run config path")
+        print(_chaos(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

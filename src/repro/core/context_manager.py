@@ -78,6 +78,11 @@ class StageContextManager:
         self.prefetch_requests = 0
         self.hits = 0
         self.misses = 0
+        #: degraded-mode flag (repro.ft.degradation): while True,
+        #: speculative prefetches are suppressed so demand fetches own
+        #: the (stalled) copy engine
+        self.throttled = False
+        self.throttled_prefetches = 0
 
     # ------------------------------------------------------------------
     # residency primitives
@@ -182,6 +187,11 @@ class StageContextManager:
             if entry is not None:
                 self._touch(layer)
                 ready = max(ready, entry.ready_at)
+            elif self.throttled:
+                # Copy engine stalled: skip the speculative copy.  The
+                # layer will be demand-fetched by acquire_for_task, which
+                # then queues behind no prefetch traffic.
+                self.throttled_prefetches += 1
             else:
                 completion, _ = self._fetch(layer, now)
                 ready = max(ready, completion)

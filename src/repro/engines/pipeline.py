@@ -33,7 +33,11 @@ from repro.errors import DeadlockError, GpuOutOfMemoryError, PartitionError
 from repro.memory_model import max_feasible_batch, memory_breakdown
 from repro.nn.parameter_store import LayerId
 from repro.nn.program import PendingUpdate, StageActivation
-from repro.partition.balanced import Partition, balanced_partition
+from repro.partition.balanced import (
+    Partition,
+    balanced_partition,
+    weighted_balanced_partition,
+)
 from repro.partition.mirror import MirrorRegistry
 from repro.partition.static import static_partition_for_space
 from repro.sim.cluster import Cluster, ClusterSpec
@@ -98,6 +102,9 @@ class PipelineResult:
     fault_count: int = 0
     task_retries: int = 0
     checkpoint_cuts: List[int] = field(default_factory=list)
+    #: chronological degradation-mitigation log (repro.ft.degradation);
+    #: part of a run's replayable identity, compared by verify_replay
+    mitigation_actions: List[Dict] = field(default_factory=list)
 
     def summary(self) -> str:
         hit = (
@@ -156,6 +163,7 @@ class PipelineEngine:
         event_listener=None,
         faults=None,
         checkpoints=None,
+        degradation=None,
     ) -> None:
         self.supernet = supernet
         self.space = supernet.space
@@ -247,6 +255,18 @@ class PipelineEngine:
         if faults is not None:
             faults.bind(self)
 
+        # -- graceful degradation (repro.ft.degradation): the health
+        # monitor listens to the trace stream; mitigations act through
+        # admission_cap, per-stage prefetch throttles and partition
+        # weights — all consulted at safe decision points.
+        #: in-flight cap imposed by active mitigation (None = no cap)
+        self.admission_cap: Optional[int] = None
+        from repro.ft.degradation import as_manager  # lazy: import cycle
+
+        self.degradation = as_manager(degradation)
+        if self.degradation is not None:
+            self.degradation.bind(self)
+
     # ------------------------------------------------------------------
     # helpers used by policies
     # ------------------------------------------------------------------
@@ -273,6 +293,14 @@ class PipelineEngine:
         if self.contexts is not None:
             self.contexts[stage].prefetch(layers, self.sim.now)
 
+    def effective_window(self, base: int) -> int:
+        """Admission window after degradation backpressure (identity
+        when no mitigation is active).  Policies that own their
+        admission barrier (BSP's bulk flush) never consult this."""
+        if self.admission_cap is None:
+            return base
+        return max(1, min(base, self.admission_cap))
+
     # ------------------------------------------------------------------
     # injection
     # ------------------------------------------------------------------
@@ -284,6 +312,16 @@ class PipelineEngine:
             + self.supernet.profile(layer).bwd_ms_ref
             for layer in subnet.layer_ids()
         ]
+        weights = (
+            self.degradation.partition_weights()
+            if self.degradation is not None
+            else None
+        )
+        if weights is not None:
+            # Straggler rebalancing: boundaries shift away from weighted
+            # (slow) stages; off-home layers materialise as replicas
+            # through the mirror registry at registration below.
+            return weighted_balanced_partition(costs, self.stages, weights)
         return balanced_partition(costs, self.stages)
 
     def _try_inject(self) -> None:
@@ -773,9 +811,46 @@ class PipelineEngine:
                         "completed": len(self.completed),
                         "stream": len(self.stream),
                         "inflight": sorted(self.inflight),
-                    }
+                    },
+                    blocked=self._blocked_edges_dump(),
                 )
         return self._result()
+
+    def _blocked_edges_dump(self) -> Dict[int, Dict]:
+        """Per-stage diagnostic for premature quiescence: every queued
+        forward with its first unreleased (blocking subnet, layer) edge
+        from the dependency tracker (``None`` = held by an admission or
+        window gate, not a causal dependency), plus the backward-ready
+        lists."""
+        tracker = getattr(self.policy, "tracker", None)
+        dump: Dict[int, Dict] = {}
+        for state in self.stage_states:
+            if not state.queue and not state.backward_ready:
+                continue
+            edges = []
+            for sid in state.queue:
+                blocking = (
+                    tracker.blocking_user(
+                        sid, self.stage_layers(sid, state.stage)
+                    )
+                    if tracker is not None
+                    else None
+                )
+                if blocking is None:
+                    edges.append({"subnet": sid, "blocked_on": None})
+                else:
+                    user, layer = blocking
+                    edges.append(
+                        {
+                            "subnet": sid,
+                            "blocked_on": {"subnet": user, "layer": layer},
+                        }
+                    )
+            dump[state.stage] = {
+                "forward": edges,
+                "backward_ready": list(state.backward_ready),
+            }
+        return dump
 
     # ------------------------------------------------------------------
     def _result(self) -> PipelineResult:
@@ -830,5 +905,8 @@ class PipelineEngine:
                 [c.cut for c in self.checkpoints.commits]
                 if self.checkpoints
                 else []
+            ),
+            mitigation_actions=(
+                list(self.degradation.actions) if self.degradation else []
             ),
         )

@@ -47,9 +47,18 @@ class SyncPolicy(ABC):
     def window(self) -> int:
         return self.config.default_window(self.stages)
 
+    def effective_window(self) -> int:
+        """The window after any engine-side degradation backpressure
+        (``PipelineEngine.admission_cap``).  Policies that manage their
+        own admission barrier (BSP's bulk flush) must not consult this —
+        shrinking a bulk below its flush size would deadlock the
+        barrier.  getattr: policy unit tests drive bare fake engines."""
+        clamp = getattr(self.engine, "effective_window", None)
+        return clamp(self.window) if clamp is not None else self.window
+
     def can_inject(self) -> bool:
         assert self.engine is not None
-        return len(self.engine.inflight) < self.window
+        return len(self.engine.inflight) < self.effective_window()
 
     def can_start_forward(self, stage: int, subnet_id: int) -> bool:
         """Gate on *starting* a subnet's first forward (stage 0).

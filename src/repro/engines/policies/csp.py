@@ -117,7 +117,7 @@ class CspPolicy(SyncPolicy):
         assert self.engine is not None
         if stage != 0:
             return True
-        return self.engine.active_started_count() < self.window
+        return self.engine.active_started_count() < self.effective_window()
 
     def on_injected(self, subnet_id: int) -> None:
         assert self.engine is not None

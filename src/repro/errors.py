@@ -71,11 +71,23 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """No runnable event remains but work is outstanding."""
+    """No runnable event remains but work is outstanding.
 
-    def __init__(self, pending: object) -> None:
+    ``blocked`` (when the engine can provide it) is a per-stage dump of
+    the forward queues with each queued subnet's first unreleased
+    ``(blocking subnet, layer)`` edge from the
+    :class:`~repro.core.dependency.DependencyTracker`, plus the
+    backward-ready lists — the evidence needed to see *which* causal
+    edge wedged the pipeline instead of a silently-truncated result.
+    """
+
+    def __init__(self, pending: object, blocked: object = None) -> None:
         self.pending = pending
-        super().__init__(f"pipeline deadlocked with pending work: {pending}")
+        self.blocked = blocked
+        message = f"pipeline deadlocked with pending work: {pending}"
+        if blocked:
+            message += f"; blocked edges by stage: {blocked}"
+        super().__init__(message)
 
 
 class ReproducibilityError(ReproError):

@@ -20,11 +20,30 @@ take consistent-cut checkpoints, recover, and measure the cost:
 * :mod:`repro.ft.recovery` — crash-restart / elastic-rescale driver
   plus retry and degraded-mode policies;
 * :mod:`repro.ft.availability` — lost-virtual-time, recovery-latency
-  and goodput accounting, including MTBF sweeps.
+  and goodput accounting, including MTBF sweeps;
+* :mod:`repro.ft.degradation` — health monitoring over the trace-event
+  stream and deterministic adaptive mitigation (admission control,
+  prefetch throttling, straggler rebalancing) for *non-fatal* faults;
+* :mod:`repro.ft.chaos` — seeded randomized robustness sweeps with an
+  invariant suite (completion, bitwise digest, trace validity, memory
+  cap, bubble accounting).
 """
 
 from repro.ft.availability import availability_summary, format_availability, mtbf_sweep
+from repro.ft.chaos import (
+    NONFATAL_KINDS,
+    chaos_invariants,
+    chaos_sweep,
+    format_chaos_report,
+    run_chaos_scenario,
+)
 from repro.ft.checkpoint import Checkpoint, CheckpointManager, restore_checkpoint
+from repro.ft.degradation import (
+    DegradationManager,
+    DegradationPolicy,
+    HealthMonitor,
+    as_manager,
+)
 from repro.ft.faults import FATAL_KINDS, FAULT_KINDS, FaultEvent, FaultSchedule
 from repro.ft.injector import FaultInjector
 from repro.ft.recovery import (
@@ -37,6 +56,7 @@ from repro.ft.recovery import (
 __all__ = [
     "FAULT_KINDS",
     "FATAL_KINDS",
+    "NONFATAL_KINDS",
     "FaultEvent",
     "FaultSchedule",
     "FaultInjector",
@@ -50,4 +70,12 @@ __all__ = [
     "availability_summary",
     "format_availability",
     "mtbf_sweep",
+    "DegradationPolicy",
+    "DegradationManager",
+    "HealthMonitor",
+    "as_manager",
+    "chaos_invariants",
+    "run_chaos_scenario",
+    "chaos_sweep",
+    "format_chaos_report",
 ]

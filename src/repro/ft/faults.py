@@ -38,9 +38,9 @@ kind            target                 effect
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields as _dataclass_fields
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.seeding import SeedSequenceTree
@@ -117,6 +117,32 @@ class FaultSchedule:
         self.events: List[FaultEvent] = sorted(
             events, key=lambda e: (e.time_ms, e.kind, e.target)
         )
+        self._check_nic_overlaps()
+
+    def _check_nic_overlaps(self) -> None:
+        """Reject overlapping ``nic_degrade`` windows on the same link.
+
+        The injector divides the link bandwidth at fire time and
+        schedules a restore of the value it *saved*; a second window
+        opening inside the first would save the already-degraded
+        bandwidth and restore the link to a permanently slow state.
+        """
+        open_until: Dict[int, Tuple[float, int]] = {}
+        for index, event in enumerate(self.events):
+            if event.kind != NIC_DEGRADE:
+                continue
+            previous = open_until.get(event.target)
+            if previous is not None and event.time_ms < previous[0]:
+                raise ConfigError(
+                    f"fault event {index}: nic_degrade on link "
+                    f"{event.target} at t={event.time_ms} overlaps the "
+                    f"window opened by event {previous[1]} (open until "
+                    f"t={previous[0]})"
+                )
+            open_until[event.target] = (
+                event.time_ms + event.duration_ms,
+                index,
+            )
 
     def __len__(self) -> int:
         return len(self.events)
@@ -140,7 +166,20 @@ class FaultSchedule:
     def from_payload(
         cls, payload: Sequence[Dict[str, object]]
     ) -> "FaultSchedule":
-        return cls(FaultEvent(**entry) for entry in payload)
+        known = {f.name for f in _dataclass_fields(FaultEvent)}
+        events: List[FaultEvent] = []
+        for index, entry in enumerate(payload):
+            unknown = sorted(set(entry) - known)
+            if unknown:
+                raise ConfigError(
+                    f"fault event {index}: unknown keys {unknown}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            try:
+                events.append(FaultEvent(**entry))
+            except ConfigError as exc:
+                raise ConfigError(f"fault event {index}: {exc}") from None
+        return cls(events)
 
     def to_json(self) -> str:
         return json.dumps(self.to_payload(), indent=2, sort_keys=True)
@@ -186,6 +225,7 @@ class FaultSchedule:
                 raise ConfigError(f"unknown fault kind {kind!r}")
         rng = seeds.fresh_generator(f"{stream_name}/{mtbf_ms}")
         events: List[FaultEvent] = []
+        nic_open_until: Dict[int, float] = {}
         clock = 0.0
         while True:
             clock += float(rng.exponential(mtbf_ms))
@@ -200,6 +240,13 @@ class FaultSchedule:
             else:
                 target = int(rng.integers(num_gpus))
             if kind == NIC_DEGRADE:
+                if clock < nic_open_until.get(target, 0.0):
+                    # A degrade window is still open on this link; a
+                    # second one would be rejected by schedule validation
+                    # (the injector could not restore bandwidth sanely).
+                    # Drop the draw deterministically.
+                    continue
+                nic_open_until[target] = clock + stall_ms * 10
                 event = FaultEvent(
                     kind, clock, target,
                     duration_ms=stall_ms * 10,

@@ -41,6 +41,11 @@ from repro.engines.functional_plane import FunctionalPlane
 from repro.engines.pipeline import PipelineEngine, PipelineResult
 from repro.errors import FaultToleranceError
 from repro.ft.checkpoint import Checkpoint, CheckpointManager
+from repro.ft.degradation import (
+    DegradationManager,
+    DegradationPolicy,
+    as_manager,
+)
 from repro.ft.faults import FaultSchedule
 from repro.ft.injector import FaultInjector
 from repro.nn.optim import MomentumSGD
@@ -117,6 +122,8 @@ class FaultedRunResult:
     recovery_latency_ms: float
     fault_count: int
     task_retries: int
+    #: concatenated mitigation logs of all attempts (chronological)
+    mitigation_actions: List[Dict] = field(default_factory=list)
 
     @property
     def final(self) -> PipelineResult:
@@ -142,6 +149,18 @@ def _default_optimizer() -> MomentumSGD:
     return MomentumSGD(0.3, 0.9, 5.0)
 
 
+def _degradation_policy(value) -> Optional[DegradationPolicy]:
+    """Normalise a ``degradation=`` argument to a policy, so recovery
+    can build one *fresh* manager per attempt (a manager is single-use)."""
+    if value is None:
+        return None
+    if isinstance(value, DegradationPolicy):
+        return value
+    if isinstance(value, DegradationManager):
+        return value.policy
+    return as_manager(value).policy
+
+
 def _build_stream(
     space: SearchSpace, seed: int, steps: int, stream_kind: str
 ) -> SubnetStream:
@@ -163,8 +182,16 @@ def run_uninterrupted(
     optimizer_factory=None,
     stream_kind: str = "spos",
     speed_factors=None,
+    faults=None,
+    degradation=None,
 ) -> PipelineResult:
-    """The fault-free baseline a recovered run is compared against."""
+    """The fault-free baseline a recovered run is compared against.
+
+    ``faults`` (a :class:`FaultSchedule` or bound-ready injector) and
+    ``degradation`` (policy / manager / True / payload dict) extend the
+    same entry point to single-attempt *non-fatal* fault runs — the
+    chaos harness's workhorse.
+    """
     supernet = Supernet(space)
     seeds = SeedSequenceTree(seed)
     plane = FunctionalPlane(
@@ -174,6 +201,8 @@ def run_uninterrupted(
         optimizer=(optimizer_factory or _default_optimizer)(),
     )
     stream = _build_stream(space, seed, steps, stream_kind)
+    if isinstance(faults, FaultSchedule):
+        faults = FaultInjector(faults)
     engine = PipelineEngine(
         supernet,
         stream,
@@ -181,6 +210,8 @@ def run_uninterrupted(
         ClusterSpec(num_gpus=num_gpus, gpu_speed_factors=speed_factors),
         batch=batch,
         functional=plane,
+        faults=faults,
+        degradation=degradation,
     )
     return engine.run()
 
@@ -201,6 +232,7 @@ def run_with_recovery(
     stream_kind: str = "spos",
     speed_factors=None,
     restart_speed_factors=None,
+    degradation=None,
 ) -> FaultedRunResult:
     """Run ``steps`` subnets to completion despite ``schedule``.
 
@@ -212,6 +244,7 @@ def run_with_recovery(
     spec = spec or RecoverySpec()
     checkpoint_dir = Path(checkpoint_dir)
     optimizer_factory = optimizer_factory or _default_optimizer
+    degradation_policy = _degradation_policy(degradation)
     full_stream = list(_build_stream(space, seed, steps, stream_kind))
 
     cursor = 0  # next subnet ID to train
@@ -227,6 +260,7 @@ def run_with_recovery(
     total_recovery_latency = 0.0
     total_faults = 0
     total_retries = 0
+    mitigation_actions: List[Dict] = []
 
     while True:
         attempt += 1
@@ -268,6 +302,11 @@ def run_with_recovery(
             functional=plane,
             faults=injector,
             checkpoints=manager,
+            degradation=(
+                DegradationManager(degradation_policy)
+                if degradation_policy is not None
+                else None
+            ),
         )
 
         recovery_latency = 0.0
@@ -306,6 +345,7 @@ def run_with_recovery(
         results.append(result)
         total_faults += result.fault_count
         total_retries += result.task_retries
+        mitigation_actions.extend(result.mitigation_actions)
         record = AttemptRecord(
             attempt=attempt,
             num_gpus=gpus,
@@ -343,6 +383,7 @@ def run_with_recovery(
                 recovery_latency_ms=total_recovery_latency,
                 fault_count=total_faults,
                 task_retries=total_retries,
+                mitigation_actions=mitigation_actions,
             )
 
         # -- crashed: roll back to the latest consistent cut -----------

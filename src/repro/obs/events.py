@@ -330,6 +330,50 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             EventField("direction", _STR, '"fwd" or "bwd"'),
             subnet_scoped=True,
         ),
+        # -- graceful degradation (repro.ft.degradation) ---------------
+        _schema(
+            "health_report",
+            "repro.ft.degradation",
+            "The health monitor's EWMA estimate for a stage, link or "
+            "copy engine crossed a hysteresis threshold; one event per "
+            "status transition.",
+            EventField("scope", _STR, '"stage", "link" or "copy"'),
+            EventField("index", _INT, "stage / link index within the scope"),
+            EventField(
+                "status",
+                _STR,
+                '"healthy"/"straggler" (stage), "nominal"/"degraded" '
+                '(link), "nominal"/"stalled" (copy)',
+            ),
+            EventField("metric", _NUMBER, "EWMA value at the transition"),
+            EventField("reference", _NUMBER, "nominal value of the metric"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "mitigation_apply",
+            "repro.ft.degradation",
+            "A degradation mitigation was applied or lifted at a safe "
+            "decision point; the same entry lands in "
+            "PipelineResult.mitigation_actions (and the run manifest).",
+            EventField(
+                "action",
+                _STR,
+                '"admission_cap", "prefetch_throttle" or "rebalance"',
+            ),
+            EventField("target", _INT, "stage index, -1 for run-global"),
+            EventField("value", _NUMBER, "cap / flag / weight applied"),
+            EventField("active", _BOOL, "True = applied, False = lifted"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "rebalance",
+            "repro.ft.degradation",
+            "A straggler stage's partition weight changed; from the next "
+            "subnet injection, balanced partitions shift layer "
+            "boundaries away from the stage (replicas materialise via "
+            "the mirror registry).",
+            EventField("weight", _NUMBER, "cost weight (1.0 = nominal)"),
+        ),
     )
 }
 

@@ -296,6 +296,51 @@ def to_perfetto(
                     "args": attrs,
                 }
             )
+        elif event.kind == "health_report":
+            events.append(
+                {
+                    "name": (
+                        f"{attrs['scope']}{attrs['index']} "
+                        f"-> {attrs['status']}"
+                    ),
+                    "cat": "health",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind == "mitigation_apply":
+            events.append(
+                {
+                    "name": (
+                        f"{attrs['action']} "
+                        f"{'on' if attrs['active'] else 'off'}"
+                    ),
+                    "cat": "mitigation",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind == "rebalance":
+            events.append(
+                {
+                    "name": f"rebalance P{event.stage} w={attrs['weight']}",
+                    "cat": "mitigation",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID_SCHED,
+                    "tid": event.stage,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
         # task_dispatch/task_done/fetch_stall/subnet_inject/csp_wait_*/
         # sim_quiescent are covered by the interval, wait-window and
         # summary renderings; prefetch_land by the issue span.

@@ -18,6 +18,7 @@ from repro.errors import PartitionError
 __all__ = [
     "Partition",
     "balanced_partition",
+    "weighted_balanced_partition",
     "partition_cost",
     "partition_imbalance",
 ]
@@ -100,6 +101,97 @@ def balanced_partition(costs: Sequence[float], stages: int) -> Partition:
         else:
             low = mid
     return _cut_at_limit(costs, high, stages)
+
+
+def _weighted_cut(
+    costs: Sequence[float],
+    weights: Sequence[float],
+    limit: float,
+    stages: int,
+) -> Tuple[Partition, bool]:
+    """Greedy max-prefix cut under per-stage caps ``limit / weight_s``.
+
+    Returns ``(partition, feasible)``: the cut always covers all blocks
+    (a stage's mandatory first block is taken even over its cap, and no
+    stage may strand later stages below one block each), ``feasible`` is
+    False when any cap was exceeded.
+    """
+    partition: Partition = []
+    start = 0
+    m = len(costs)
+    feasible = True
+    for stage in range(stages):
+        cap = limit / weights[stage]
+        stages_left_after = stages - stage - 1
+        stop = start
+        running = 0.0
+        while stop < m - stages_left_after:
+            if stop > start and running + costs[stop] > cap:
+                break
+            running += costs[stop]
+            stop += 1
+        if stages_left_after == 0:
+            # the final stage owns every remaining block regardless of
+            # its cap — the cut must always cover [0, m)
+            while stop < m:
+                running += costs[stop]
+                stop += 1
+        if running > cap:
+            feasible = False
+        partition.append((start, stop))
+        start = stop
+    if start != m:
+        raise PartitionError(
+            f"internal: weighted cut covered {start} of {m} blocks"
+        )
+    return partition, feasible
+
+
+def weighted_balanced_partition(
+    costs: Sequence[float],
+    stages: int,
+    stage_weights: Sequence[float],
+) -> Partition:
+    """Min-max contiguous partition of *weighted* stage loads.
+
+    Minimises ``max_s(weight_s × segment_sum_s)`` — a stage with weight
+    ``w`` runs its blocks ``w×`` slower (a straggler), so the optimum
+    shifts boundaries away from it.  Uniform weights reduce to
+    :func:`balanced_partition` exactly (same code path, so identical
+    cuts).  Bisection over the answer with a greedy max-prefix
+    feasibility check; with the one-block-per-stage floor the greedy
+    check is conservative in degenerate corners, yielding a valid,
+    near-optimal cut.
+
+    >>> weighted_balanced_partition([1, 1, 1, 1], 2, [3.0, 1.0])
+    [(0, 1), (1, 4)]
+    """
+    if len(stage_weights) != stages:
+        raise PartitionError(
+            f"need {stages} stage weights, got {len(stage_weights)}"
+        )
+    if any(weight <= 0 for weight in stage_weights):
+        raise PartitionError("stage weights must be positive")
+    if all(weight == stage_weights[0] for weight in stage_weights):
+        return balanced_partition(costs, stages)
+    m = len(costs)
+    if m < stages:
+        raise PartitionError(
+            f"cannot split {m} blocks into {stages} stages (need >= 1 each)"
+        )
+    if any(cost < 0 for cost in costs):
+        raise PartitionError("block costs must be non-negative")
+    low = 0.0
+    high = max(stage_weights) * float(sum(costs))
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        _, feasible = _weighted_cut(costs, stage_weights, mid, stages)
+        if feasible:
+            high = mid
+        else:
+            low = mid
+    partition, _ = _weighted_cut(costs, stage_weights, high, stages)
+    return partition
 
 
 def partition_cost(costs: Sequence[float], partition: Partition) -> float:

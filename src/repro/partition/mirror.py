@@ -107,6 +107,21 @@ class MirrorRegistry:
         """How many distinct layers have at least one off-home replica."""
         return sum(1 for stages in self._replicas.values() if len(stages) > 1)
 
+    def stage_replica_counts(self) -> Dict[int, int]:
+        """Off-home replicas resident per stage, sorted by stage.
+
+        Shows where mirroring has shifted supernet mass relative to the
+        static homes — the degradation rebalancer's report of which
+        stages absorbed a straggler's blocks.
+        """
+        counts: Dict[int, int] = {}
+        for layer, stages in self._replicas.items():
+            home = self.home_stage(layer)
+            for stage in stages:
+                if stage != home:
+                    counts[stage] = counts.get(stage, 0) + 1
+        return {stage: counts[stage] for stage in sorted(counts)}
+
 
 def mirror_traffic_for_stream(
     supernet: Supernet,

@@ -66,6 +66,13 @@ class RunManifest:
     fault_events: List[Dict[str, object]] = field(default_factory=list)
     checkpoint_interval: Optional[int] = None
     recovery_gpus: Optional[int] = None
+    # graceful degradation (repro.ft.degradation): per-GPU speed factors
+    # model a heterogeneous/straggling cluster, and the policy payload
+    # arms adaptive mitigation — both are part of the run's identity, and
+    # the mitigation sequence the run took is a recorded outcome that
+    # replay must reproduce action-for-action
+    speed_factors: Optional[List[float]] = None
+    degradation: Optional[Dict[str, object]] = None
     # recorded outcome
     digest: Optional[str] = None
     losses: Dict[str, float] = field(default_factory=dict)
@@ -73,6 +80,7 @@ class RunManifest:
     makespan_ms: Optional[float] = None
     checkpoint_cuts: List[int] = field(default_factory=list)
     attempts: Optional[int] = None
+    mitigation_actions: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
@@ -123,6 +131,8 @@ def _build_manifest(
     fault_events: Optional[List[Dict[str, object]]] = None,
     checkpoint_interval: Optional[int] = None,
     recovery_gpus: Optional[int] = None,
+    speed_factors: Optional[List[float]] = None,
+    degradation=None,
 ) -> RunManifest:
     return RunManifest(
         version=_MANIFEST_VERSION,
@@ -142,7 +152,19 @@ def _build_manifest(
         fault_events=list(fault_events or []),
         checkpoint_interval=checkpoint_interval,
         recovery_gpus=recovery_gpus,
+        speed_factors=list(speed_factors) if speed_factors else None,
+        degradation=_degradation_payload(degradation),
     )
+
+
+def _degradation_payload(value) -> Optional[Dict[str, object]]:
+    """Normalise a ``degradation=`` argument (None / True / policy /
+    manager / payload dict) to the JSON payload a manifest stores."""
+    if value is None:
+        return None
+    from repro.ft.degradation import as_manager
+
+    return as_manager(value).policy.to_payload()
 
 
 def execute_manifest(
@@ -179,9 +201,19 @@ def execute_manifest(
         supernet,
         stream,
         manifest.resolve_system(),
-        ClusterSpec(num_gpus=manifest.num_gpus),
+        ClusterSpec(
+            num_gpus=manifest.num_gpus,
+            gpu_speed_factors=(
+                tuple(manifest.speed_factors)
+                if manifest.speed_factors
+                else None
+            ),
+        ),
         batch=manifest.batch,
         functional=plane,
+        degradation=(
+            dict(manifest.degradation) if manifest.degradation else None
+        ),
     )
     return engine.run()
 
@@ -214,6 +246,14 @@ def _execute_faulted(
                 manifest.learning_rate, manifest.momentum, manifest.max_grad_norm
             ),
             stream_kind=manifest.stream_kind,
+            speed_factors=(
+                tuple(manifest.speed_factors)
+                if manifest.speed_factors
+                else None
+            ),
+            degradation=(
+                dict(manifest.degradation) if manifest.degradation else None
+            ),
         )
 
     if checkpoint_dir is not None:
@@ -246,6 +286,9 @@ def record_run(space_name: str, system_name: str, **kwargs) -> RunManifest:
     manifest.makespan_ms = result.makespan_ms
     manifest.checkpoint_cuts = list(getattr(result, "checkpoint_cuts", []))
     manifest.attempts = getattr(result, "num_attempts", 1)
+    manifest.mitigation_actions = list(
+        getattr(result, "mitigation_actions", [])
+    )
     return manifest
 
 
@@ -299,5 +342,14 @@ def verify_replay(manifest: RunManifest):
         raise ReproducibilityError(
             f"replay checkpoint cuts {fresh_cuts} != recorded "
             f"{manifest.checkpoint_cuts}"
+        )
+    fresh_actions = list(getattr(result, "mitigation_actions", []))
+    if fresh_actions != manifest.mitigation_actions:
+        raise ReproducibilityError(
+            f"replay took {len(fresh_actions)} mitigation action(s), "
+            f"recorded run took {len(manifest.mitigation_actions)} — the "
+            "degraded-mode decisions did not replay deterministically"
+            if len(fresh_actions) != len(manifest.mitigation_actions)
+            else "replay mitigation sequence differs from the recorded run"
         )
     return result

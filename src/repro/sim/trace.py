@@ -100,6 +100,11 @@ class ExecutionTrace:
     subnet_completion_times: Dict[int, float] = field(default_factory=dict)
     start_time: float = 0.0
     end_time: float = 0.0
+    #: synchronous observers called with each event as it is recorded
+    #: (in emission order, on the virtual clock) — the hook live health
+    #: monitors attach to.  Excluded from equality: two traces with the
+    #: same events are the same trace regardless of who watched them.
+    listeners: List = field(default_factory=list, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def record_interval(
@@ -121,9 +126,10 @@ class ExecutionTrace:
         **attrs: object,
     ) -> None:
         """Append one typed event (see ``docs/TRACING.md`` for kinds)."""
-        self.events.append(
-            TraceEvent(kind, time, stage, subnet_id, tuple(attrs.items()))
-        )
+        event = TraceEvent(kind, time, stage, subnet_id, tuple(attrs.items()))
+        self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
 
     def record_cache_access(self, hit: bool, count: int = 1) -> None:
         if hit:

@@ -96,3 +96,35 @@ def test_faults_command(tmp_path, capsys):
 def test_faults_command_requires_config():
     with pytest.raises(SystemExit):
         main(["faults"])
+
+
+def test_chaos_command(tmp_path, capsys):
+    import json
+
+    config = tmp_path / "chaos.json"
+    config.write_text(
+        json.dumps(
+            {
+                "space": "NLP.c3",
+                "space_overrides": {"num_blocks": 8, "functional_width": 16},
+                "system": "NASPipe",
+                "gpus": [2],
+                "subnets": 8,
+                "seed": 7,
+            }
+        )
+    )
+    out_json = tmp_path / "report.json"
+    assert main(["chaos", str(config), "--seeds", "2", "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    assert "PASS" in out
+    report = json.loads(out_json.read_text())
+    assert report["ok"] is True
+    assert report["total_scenarios"] == 2
+    assert all(row["digest_ok"] for row in report["scenarios"])
+
+
+def test_chaos_command_requires_config():
+    with pytest.raises(SystemExit):
+        main(["chaos"])

@@ -1,0 +1,131 @@
+"""Chaos sweeps: seeded non-fatal fault storms against the invariant suite."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.baselines import naspipe
+from repro.ft import (
+    NONFATAL_KINDS,
+    chaos_invariants,
+    chaos_sweep,
+    format_chaos_report,
+    run_chaos_scenario,
+    run_uninterrupted,
+)
+from repro.supernet.search_space import get_search_space
+
+
+@pytest.fixture(scope="module")
+def chaos_space():
+    return get_search_space("NLP.c3").scaled(
+        name="chaos", num_blocks=8, functional_width=16
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_report(chaos_space):
+    return chaos_sweep(
+        chaos_space, naspipe(), scenarios=2, gpus=(2, 4), steps=12, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def small_run(chaos_space):
+    return run_uninterrupted(chaos_space, naspipe(), num_gpus=2, steps=10, seed=3)
+
+
+def test_sweep_passes_every_invariant(chaos_report):
+    assert chaos_report["ok"] is True
+    assert chaos_report["violations"] == []
+    assert chaos_report["total_scenarios"] == 4
+    assert all(row["digest_ok"] for row in chaos_report["scenarios"])
+    assert all(row["completed"] == 12 for row in chaos_report["scenarios"])
+    assert all(row["violations"] == [] for row in chaos_report["scenarios"])
+    # an MTBF at 10% of the makespan makes the sweep genuinely hostile
+    assert chaos_report["total_faults"] >= 1
+    drawn = set()
+    for row in chaos_report["scenarios"]:
+        drawn |= set(row["fault_kinds"])
+    assert drawn <= set(NONFATAL_KINDS)
+
+
+def test_sweep_is_deterministic(chaos_space, chaos_report):
+    again = chaos_sweep(
+        chaos_space, naspipe(), scenarios=2, gpus=(2, 4), steps=12, seed=11
+    )
+    assert again == chaos_report  # same seeds, bit-for-bit the same report
+
+
+def test_scenario_is_a_repro_case(chaos_space, chaos_report):
+    """A failing row's ``(seed, fault_seed, gpus)`` triple must replay it
+    exactly; check the contract on a passing row."""
+    row = chaos_report["scenarios"][0]  # gpus=2, scenario index 0
+    baseline = run_uninterrupted(
+        chaos_space, naspipe(), num_gpus=2, steps=12, seed=11
+    )
+    replayed = run_chaos_scenario(
+        chaos_space,
+        naspipe(),
+        baseline=baseline,
+        num_gpus=2,
+        steps=12,
+        seed=11,
+        fault_seed=row["fault_seed"],
+        stream_name="chaos/2gpu/0",
+    )
+    assert replayed == row
+
+
+def test_invariants_catch_incomplete_and_divergent_runs(chaos_space, small_run):
+    other = run_uninterrupted(chaos_space, naspipe(), num_gpus=2, steps=10, seed=4)
+    assert chaos_invariants(small_run, small_run, steps=10) == []
+    short = chaos_invariants(small_run, small_run, steps=12)
+    assert any("completed 10/12" in v for v in short)
+    crossed = chaos_invariants(small_run, other, steps=10)
+    assert any("digest diverged" in v for v in crossed)
+    assert any("losses diverged" in v for v in crossed)
+
+
+def test_invariants_flag_cache_blowups(small_run):
+    assert small_run.peak_cache_bytes  # cached system: the metric exists
+    within = chaos_invariants(
+        small_run, small_run, steps=10, capacity_bytes=small_run.peak_cache_bytes
+    )
+    assert within == []
+    # the baseline's own peak widens the allowance (block granularity can
+    # put even a fault-free run over raw capacity), so a tiny capacity
+    # alone is no violation when the baseline needed the same bytes...
+    tolerated = chaos_invariants(
+        small_run,
+        small_run,
+        steps=10,
+        capacity_bytes=small_run.peak_cache_bytes // 4,
+    )
+    assert tolerated == []
+    # ...but growth past the margin over both anchors is runaway
+    lean_baseline = SimpleNamespace(
+        digest=small_run.digest,
+        losses=small_run.losses,
+        peak_cache_bytes=small_run.peak_cache_bytes // 8,
+    )
+    blown = chaos_invariants(
+        small_run,
+        lean_baseline,
+        steps=10,
+        capacity_bytes=small_run.peak_cache_bytes // 8,
+    )
+    assert any("peak cache" in v for v in blown)
+
+
+def test_report_formatting(chaos_report):
+    text = format_chaos_report(chaos_report)
+    assert "chaos sweep" in text
+    assert "PASS" in text
+    assert "DIVERGED" not in text
+    failing = dict(
+        chaos_report,
+        violations=["[gpus=2 fault_seed=1] digest diverged"],
+        ok=False,
+    )
+    assert "VIOLATIONS (1)" in format_chaos_report(failing)
