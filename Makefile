@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler experiments repro-check demo trace-demo faults-demo chaos-smoke clean
+.PHONY: install test bench bench-scheduler bench-obs obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,13 @@ bench:
 bench-scheduler:
 	python -m repro scheduler-cost --json BENCH_scheduler.json \
 		--baseline benchmarks/scheduler_baseline.json
+
+bench-obs:
+	python -m repro analyze examples/trace_demo.json \
+		--sweep-gpus 2 4 8 --json BENCH_obs.json
+
+obs-baseline:
+	python tools/record_obs_baseline.py benchmarks/obs_baseline.json
 
 experiments:
 	python -m repro all --scale small
@@ -30,6 +37,9 @@ demo:
 trace-demo:
 	python -m repro trace examples/trace_demo.json \
 		--out trace_demo.trace.json --summary
+
+analyze-demo:
+	python -m repro analyze examples/analyze_demo.json
 
 faults-demo:
 	python -m repro faults examples/faults_demo.json \

@@ -155,6 +155,173 @@ def _run_one(name: str, args) -> str:
     raise SystemExit(f"unknown experiment {name!r}")
 
 
+def _load_run_config(config_path, default_seed=2022):
+    """Parse a JSON run config and resolve it to run_system kwargs.
+
+    Shared by ``trace`` and ``analyze``: the same config file drives
+    both.  Returns ``(config_dict, scale, run_kwargs)``.
+    """
+    import json
+
+    config = json.loads(config_path.read_text())
+    scale = ExperimentScale(
+        subnets=int(config.get("subnets", 24)),
+        num_gpus=int(config.get("num_gpus", 4)),
+        seed=int(config.get("seed", default_seed)),
+        stream_kind=config.get("stream_kind", "generational"),
+    )
+    run_kwargs = dict(
+        batch=config.get("batch"),
+        space_overrides=config.get("space_overrides"),
+        **config.get("overrides", {}),
+    )
+    return config, scale, run_kwargs
+
+
+def _run_config(config, scale, run_kwargs):
+    from repro.experiments.common import run_system
+
+    result = run_system(
+        config.get("space", "NLP.c3"),
+        config.get("system", "NASPipe"),
+        scale,
+        **run_kwargs,
+    )
+    if result is None:
+        raise SystemExit(
+            f"{config.get('system')} ran out of memory on "
+            f"{config.get('space')} — no schedule to trace or analyze"
+        )
+    return result
+
+
+def _config_identity(config, num_gpus, scale):
+    """The registry's config-digest payload for a CLI-config run."""
+    return {
+        "space": config.get("space", "NLP.c3"),
+        "space_overrides": config.get("space_overrides") or {},
+        "system": config.get("system", "NASPipe"),
+        "overrides": config.get("overrides") or {},
+        "num_gpus": num_gpus,
+        "subnets": scale.subnets,
+        "batch": config.get("batch"),
+        "seed": scale.seed,
+        "stream_kind": scale.stream_kind,
+    }
+
+
+def _analyze(args) -> str:
+    """``naspipe analyze <config>``: run one configured schedule, print
+    the critical-path breakdown and what-if projections, and optionally
+    file the run in the registry.
+
+    Takes the same JSON config as ``naspipe trace`` (plus optional
+    ``space_overrides``).  ``--sweep-gpus 2 4 8`` repeats the analysis
+    per GPU count; ``--json PATH`` writes the machine-readable payload
+    (deterministic canonical JSON); ``--register`` appends a run record
+    to ``--registry`` (default ``.naspipe/runs.jsonl``).  See
+    ``docs/ANALYSIS.md`` for what the numbers mean.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import what_if_report
+    from repro.obs.registry import append_run, run_record
+
+    config_path = Path(args.config)
+    config, scale, run_kwargs = _load_run_config(
+        config_path, default_seed=args.seed
+    )
+    gpu_counts = [int(g) for g in (args.sweep_gpus or [scale.num_gpus])]
+
+    lines = []
+    payload = {"schema": 1, "config": str(config_path), "runs": []}
+    registry_path = None
+    for gpus in gpu_counts:
+        result = _run_config(
+            config, scale, dict(run_kwargs, num_gpus=gpus)
+        )
+        breakdown = result.critical_path()
+        whatif = what_if_report(result.trace)
+        payload["runs"].append(
+            {
+                "num_gpus": gpus,
+                "summary": result.trace_summary(),
+                "critical_path": breakdown,
+                "what_if": whatif,
+            }
+        )
+        lines.append(
+            f"{result.system} on {result.space}, D={gpus}: "
+            f"makespan {breakdown['makespan_ms']:.1f} ms, "
+            f"critical path {breakdown['num_segments']} segments"
+        )
+        lines.append("  critical path by resource (ms / fraction):")
+        for resource, ms in breakdown["by_resource_ms"].items():
+            if ms <= 0:
+                continue
+            fraction = breakdown["by_resource_fraction"][resource]
+            lines.append(f"    {resource:<16s} {ms:10.1f}  {fraction:6.1%}")
+        lines.append("  what-if projections (ranked by savings):")
+        for name in whatif["ranked"]:
+            scenario = whatif["scenarios"][name]
+            lines.append(
+                f"    {name:<20s} -> {scenario['projected_makespan_ms']:10.1f} ms "
+                f"(saves {scenario['savings_ms']:8.1f} ms, "
+                f"{scenario['savings_fraction']:5.1%})"
+            )
+        if args.register:
+            record = run_record(
+                result, identity=_config_identity(config, gpus, scale)
+            )
+            registry_path = append_run(record, args.registry)
+            lines.append(
+                f"  [registered run {record['run_id']} in {registry_path}]"
+            )
+        lines.append("")
+    if args.json:
+        out = Path(args.json)
+        out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        lines.append(f"[analysis written to {out}]")
+    return "\n".join(lines).rstrip()
+
+
+def _compare(args) -> str:
+    """``naspipe compare <run-a> <run-b>``: field-by-field diff of two
+    registry records.
+
+    Each reference is a record file (JSON/JSONL, last record wins) or a
+    ``run_id`` prefix resolved against ``--registry``.  With
+    ``--fail-on-regression PCT`` the command exits non-zero when run B's
+    makespan or bubble ratio is worse than run A's by more than PCT
+    percent (``100`` = the 2x CI gate).  Output is byte-deterministic.
+    """
+    from repro.obs.registry import (
+        check_regression,
+        compare_records,
+        format_compare,
+        resolve_run,
+    )
+
+    record_a = resolve_run(args.config, args.registry)
+    record_b = resolve_run(args.config2, args.registry)
+    comparison = compare_records(record_a, record_b)
+    text = format_compare(comparison).rstrip()
+    if args.fail_on_regression is not None:
+        failures = check_regression(comparison, args.fail_on_regression)
+        if failures:
+            print(text)
+            raise SystemExit(
+                "regression vs baseline:\n  " + "\n  ".join(failures)
+            )
+        text += (
+            f"\n[no regression beyond {args.fail_on_regression:g}% threshold]"
+        )
+    return text
+
+
 def _trace(args) -> str:
     """``naspipe trace <config>``: run one configured pipeline schedule,
     export it as Chrome Trace Event JSON (Perfetto-loadable) and print
@@ -167,34 +334,19 @@ def _trace(args) -> str:
 
     ``system`` accepts any :func:`repro.baselines.system_by_name` name;
     extra keys under ``"overrides"`` are forwarded to it (e.g.
-    ``{"overrides": {"cache_capacity_mb": 64}}``).
+    ``{"overrides": {"cache_capacity_mb": 64}}``).  ``--summary-json
+    PATH`` writes the same summary as canonical machine-readable JSON
+    (byte-identical across identical runs — the registry's input).
     """
-    import json
     from pathlib import Path
 
-    from repro.experiments.common import ExperimentScale, run_system
-    from repro.obs import format_summary, run_summary
+    from repro.obs import format_summary, run_summary, summary_json
 
     config_path = Path(args.config)
-    config = json.loads(config_path.read_text())
-    scale = ExperimentScale(
-        subnets=int(config.get("subnets", 24)),
-        num_gpus=int(config.get("num_gpus", 4)),
-        seed=int(config.get("seed", args.seed)),
-        stream_kind=config.get("stream_kind", "generational"),
+    config, scale, run_kwargs = _load_run_config(
+        config_path, default_seed=args.seed
     )
-    result = run_system(
-        config.get("space", "NLP.c3"),
-        config.get("system", "NASPipe"),
-        scale,
-        batch=config.get("batch"),
-        **config.get("overrides", {}),
-    )
-    if result is None:
-        raise SystemExit(
-            f"{config.get('system')} ran out of memory on "
-            f"{config.get('space')} — no schedule to trace"
-        )
+    result = _run_config(config, scale, run_kwargs)
     out = Path(args.out or "run.trace.json")
     result.trace_export(path=out, label=config.get("label", config_path.stem))
     lines = [
@@ -202,9 +354,17 @@ def _trace(args) -> str:
         f"{len(result.trace.events)} typed events) — "
         "open in https://ui.perfetto.dev or chrome://tracing",
     ]
+    summary = None
     if args.summary:
+        summary = run_summary(result)
         lines.append("")
-        lines.append(format_summary(run_summary(result)))
+        lines.append(format_summary(summary))
+    if args.summary_json:
+        if summary is None:
+            summary = run_summary(result)
+        json_path = Path(args.summary_json)
+        json_path.write_text(summary_json(summary))
+        lines.append(f"[summary JSON written to {json_path}]")
     return "\n".join(lines)
 
 
@@ -456,18 +616,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("trace", "faults", "chaos", "all", "list"),
+        choices=_EXPERIMENTS
+        + ("trace", "analyze", "compare", "faults", "chaos", "all", "list"),
         help="which table/figure to regenerate ('trace' exports a "
-        "Perfetto-compatible run trace; 'faults' runs a fault-injection "
+        "Perfetto-compatible run trace; 'analyze' prints the "
+        "critical-path breakdown and what-if projections; 'compare' "
+        "diffs two registry records; 'faults' runs a fault-injection "
         "scenario with recovery; 'chaos' runs a seeded randomized "
         "robustness sweep)",
     )
     parser.add_argument(
         "config",
         nargs="?",
-        help="trace/faults/chaos: JSON run config (see "
+        help="trace/analyze/faults/chaos: JSON run config (see "
         "examples/trace_demo.json, examples/faults_demo.json and "
-        "examples/chaos_demo.json)",
+        "examples/chaos_demo.json); compare: run A (record file or "
+        "run_id prefix)",
+    )
+    parser.add_argument(
+        "config2",
+        nargs="?",
+        help="compare: run B (record file or run_id prefix)",
     )
     parser.add_argument(
         "--scale",
@@ -528,16 +697,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="trace: also print the bubble-attribution run summary",
     )
+    parser.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        help="trace: write the run summary as canonical JSON here "
+        "(deterministic; the registry's input format)",
+    )
+    parser.add_argument(
+        "--sweep-gpus",
+        type=int,
+        nargs="*",
+        help="analyze: repeat the analysis at these GPU counts "
+        "(default: the config's num_gpus)",
+    )
+    parser.add_argument(
+        "--register",
+        action="store_true",
+        help="analyze: append the run record to the registry",
+    )
+    parser.add_argument(
+        "--registry",
+        metavar="PATH",
+        help="analyze/compare: registry JSONL path "
+        "(default .naspipe/runs.jsonl)",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        metavar="PCT",
+        help="compare: exit non-zero when run B's makespan or bubble "
+        "ratio is worse than run A's by more than PCT percent "
+        "(100 = the 2x CI gate)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(_EXPERIMENTS + ("trace", "faults", "chaos")))
+        print(
+            "\n".join(
+                _EXPERIMENTS + ("trace", "analyze", "compare", "faults", "chaos")
+            )
+        )
         return 0
 
     if args.experiment == "trace":
         if not args.config:
             parser.error("trace requires a JSON run config path")
         print(_trace(args))
+        return 0
+
+    if args.experiment == "analyze":
+        if not args.config:
+            parser.error("analyze requires a JSON run config path")
+        print(_analyze(args))
+        return 0
+
+    if args.experiment == "compare":
+        if not args.config or not args.config2:
+            parser.error("compare requires two run references")
+        print(_compare(args))
         return 0
 
     if args.experiment == "faults":

@@ -148,6 +148,26 @@ class PipelineResult:
 
         return run_summary(self)
 
+    def critical_path(self):
+        """Critical-path breakdown of this run: the longest dependency
+        chain to final completion, attributed by resource class; its
+        segments tile the makespan exactly (1e-9).  See
+        ``docs/ANALYSIS.md``.
+        """
+        from repro.obs import critical_path_breakdown
+
+        return critical_path_breakdown(self.trace)
+
+    def what_if(self):
+        """What-if report: projected makespans under relaxed-subsystem
+        scenarios (zero fetch stalls, infinite NIC, perfect predictor,
+        the no-CSP/ASP bound), ranked by savings.  See
+        ``docs/ANALYSIS.md`` for the model's assumptions.
+        """
+        from repro.obs import what_if_report
+
+        return what_if_report(self.trace)
+
 
 class PipelineEngine:
     """Runs one (system, space, cluster, stream) combination."""
@@ -211,6 +231,28 @@ class PipelineEngine:
         self.oom_retries = 0
         self.completed: Dict[int, float] = {}
         self.losses: Dict[int, float] = {}
+
+        # Static run facts the offline analyses (critical path, what-if
+        # projection) need; emitted as events so a bare ExecutionTrace is
+        # self-describing without the engine that produced it.
+        self.trace.record_event(
+            "run_meta",
+            self.sim.now,
+            system=config.name,
+            num_stages=self.stages,
+            batch=self.batch,
+            window=config.default_window(self.stages),
+            sync=config.sync,
+        )
+        for link in self.cluster.forward_links + self.cluster.backward_links:
+            self.trace.record_event(
+                "link_meta",
+                self.sim.now,
+                src=link.src,
+                dst=link.dst,
+                bandwidth=link.bandwidth_bytes_per_ms,
+                latency=link.latency_ms,
+            )
 
         self.home_partition = static_partition_for_space(supernet, self.stages)
         self.mirror_registry = (

@@ -42,8 +42,16 @@ class ExperimentScale:
         return cls(subnets=600, num_gpus=8)
 
 
-def make_stream(space_name: str, scale: ExperimentScale, salt: str = "") -> SubnetStream:
-    space = get_search_space(space_name)
+def make_stream(
+    space_name: str,
+    scale: ExperimentScale,
+    salt: str = "",
+    space=None,
+) -> SubnetStream:
+    """Seeded subnet stream for one (space, scale) cell; pass ``space``
+    to sample from an already-resolved (e.g. scaled) search space."""
+    if space is None:
+        space = get_search_space(space_name)
     seeds = SeedSequenceTree(scale.seed).child(salt) if salt else SeedSequenceTree(
         scale.seed
     )
@@ -59,13 +67,20 @@ def run_system(
     num_gpus: Optional[int] = None,
     with_functional: bool = False,
     batch: Optional[int] = None,
+    space_overrides: Optional[dict] = None,
     **system_overrides,
 ) -> Optional[PipelineResult]:
     """Run one (system, space) cell; returns None when the system OOMs
-    (the paper's "failed to run" cells for GPipe/PipeDream on NLP.c0)."""
+    (the paper's "failed to run" cells for GPipe/PipeDream on NLP.c0).
+    ``space_overrides`` scales the search space before sampling (the
+    same knob the faults/chaos configs expose)."""
     space = get_search_space(space_name)
+    if space_overrides:
+        space = space.scaled(**space_overrides)
     supernet = Supernet(space)
-    stream = make_stream(space_name, scale, salt=f"{space_name}/{system_name}")
+    stream = make_stream(
+        space_name, scale, salt=f"{space_name}/{system_name}", space=space
+    )
     config = system_by_name(system_name, **system_overrides)
     plane = None
     if with_functional:

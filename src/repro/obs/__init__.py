@@ -13,9 +13,17 @@ into inspectable artifacts:
 * :mod:`repro.obs.summary` — per-stage bubble attribution (startup vs
   CSP-wait vs fetch-stall vs drain) and a deterministic run summary; the
   attribution sums back to ``ExecutionTrace.bubble_ratio()`` exactly.
+* :mod:`repro.obs.critical_path` — the task-DAG critical path of a run,
+  attributed by resource class; tiles the makespan exactly (1e-9).
+* :mod:`repro.obs.whatif` — analytic lower-bound projections ("zero
+  fetch stalls", "infinite NIC", the ASP bound) plus a rerun hook.
+* :mod:`repro.obs.registry` — append-only JSONL run registry with
+  field-wise compare and CI regression gating.
 
-Entry points: ``PipelineResult.trace_export()`` / ``.trace_summary()``,
-the ``naspipe trace <config>`` CLI and ``make trace-demo``.
+Entry points: ``PipelineResult.trace_export()`` / ``.trace_summary()`` /
+``.critical_path()`` / ``.what_if()``, the ``naspipe trace`` /
+``analyze`` / ``compare`` CLI and ``make trace-demo`` / ``bench-obs``.
+See ``docs/ANALYSIS.md`` for the analysis semantics.
 """
 
 from repro.obs.events import (
@@ -35,6 +43,24 @@ from repro.obs.summary import (
     bubble_attribution,
     format_summary,
     run_summary,
+    summary_json,
+)
+from repro.obs.critical_path import (
+    RESOURCE_CLASSES,
+    CriticalPath,
+    PathSegment,
+    critical_path,
+    critical_path_breakdown,
+)
+from repro.obs.whatif import SCENARIOS, project, rerun_projection, what_if_report
+from repro.obs.registry import (
+    append_run,
+    check_regression,
+    compare_records,
+    format_compare,
+    load_runs,
+    resolve_run,
+    run_record,
 )
 
 __all__ = [
@@ -50,4 +76,21 @@ __all__ = [
     "bubble_attribution",
     "format_summary",
     "run_summary",
+    "summary_json",
+    "RESOURCE_CLASSES",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "critical_path_breakdown",
+    "SCENARIOS",
+    "project",
+    "what_if_report",
+    "rerun_projection",
+    "run_record",
+    "append_run",
+    "load_runs",
+    "resolve_run",
+    "compare_records",
+    "check_regression",
+    "format_compare",
 ]

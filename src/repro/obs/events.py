@@ -244,6 +244,33 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             subnet_scoped=True,
         ),
         _schema(
+            "run_meta",
+            "repro.engines.pipeline",
+            "Run-global configuration snapshot emitted once at engine "
+            "construction: the static facts critical-path analysis and "
+            "what-if projection need that no later event carries.",
+            EventField("system", _STR, "system configuration name"),
+            EventField("num_stages", _INT, "pipeline depth"),
+            EventField("batch", _INT, "training batch size"),
+            EventField("window", _INT, "policy in-flight subnet window"),
+            EventField("sync", _STR, '"csp", "bsp", "asp" or "ssp"'),
+            stage_scoped=False,
+        ),
+        _schema(
+            "link_meta",
+            "repro.engines.pipeline",
+            "Per-link parameters emitted once at engine construction "
+            "(one event per direction per adjacent-stage pair); the "
+            "what-if NIC model replays FIFO queueing from these.",
+            EventField("src", _INT, "sending stage"),
+            EventField("dst", _INT, "receiving stage"),
+            EventField(
+                "bandwidth", _NUMBER, "link bandwidth (bytes per virtual ms)"
+            ),
+            EventField("latency", _NUMBER, "per-transfer latency (virtual ms)"),
+            stage_scoped=False,
+        ),
+        _schema(
             "sim_quiescent",
             "repro.sim.engine",
             "The discrete-event queue drained; the schedule is complete.",

@@ -23,7 +23,9 @@ the invariant the exporter tests enforce at 1e-9.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from decimal import ROUND_HALF_EVEN, Decimal
 from typing import Dict, List, Tuple
 
 from repro.sim.trace import ExecutionTrace
@@ -34,6 +36,7 @@ __all__ = [
     "csp_wait_windows",
     "bubble_attribution",
     "run_summary",
+    "summary_json",
     "format_summary",
 ]
 
@@ -244,7 +247,12 @@ def run_summary(result) -> Dict[str, object]:
     ``bubble_attribution`` holds mean fractions across stages; their sum
     equals ``bubble_ratio`` to float precision (tested at 1e-9).
     """
+    # Lazy import: critical_path imports csp_wait_windows from this
+    # module, so a top-level import here would be a cycle.
+    from repro.obs.critical_path import critical_path_breakdown
+
     trace: ExecutionTrace = result.trace
+    cp_share = critical_path_breakdown(trace)["per_stage_share"]
     stages = bubble_attribution(trace)
     mean: Dict[str, float] = {
         "startup": 0.0,
@@ -280,6 +288,10 @@ def run_summary(result) -> Dict[str, object]:
                 "csp_wait_ms": stage.csp_wait_ms,
                 "drain_ms": stage.drain_ms,
                 "other_idle_ms": stage.other_idle_ms,
+                # this stage's share of the run's critical path — the
+                # same number the text rendering prints, so the two
+                # summaries cannot disagree
+                "cp_share": cp_share.get(str(stage.stage), 0.0),
             }
             for stage in stages
         ],
@@ -294,8 +306,32 @@ def run_summary(result) -> Dict[str, object]:
     }
 
 
+def summary_json(summary: Dict[str, object]) -> str:
+    """Canonical single-line JSON for a summary dict — sorted keys, no
+    whitespace, trailing newline; byte-identical across identical runs
+    (the ``naspipe trace --summary-json`` and registry serialisation)."""
+    return json.dumps(summary, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _pct(fraction: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string, rounding **half-even in
+    decimal space**.  ``f"{x:.1f}"`` is only half-even on the binary
+    float, so ``0.065 * 100`` (stored as 6.50000...2) rounds up while
+    6.45 (stored as 6.4499...) rounds down — effectively unpredictable
+    per value.  Going through :class:`~decimal.Decimal` makes ties
+    behave: 6.25% -> 6.2%, 6.75% -> 6.8%."""
+    quantum = Decimal(1).scaleb(-digits)
+    value = (Decimal(repr(float(fraction))) * 100).quantize(
+        quantum, rounding=ROUND_HALF_EVEN
+    )
+    return f"{value}%"
+
+
 def format_summary(summary: Dict[str, object]) -> str:
-    """Human-readable rendering of :func:`run_summary` (stable layout)."""
+    """Human-readable rendering of :func:`run_summary` (stable layout).
+
+    Every percentage goes through :func:`_pct` (decimal half-even), and
+    the stage rows print the same ``cp_share`` the JSON summary carries."""
     attribution = summary["bubble_attribution"]
     lines = [
         "run summary — {system} on {space}, D={num_gpus}, batch={batch}".format(
@@ -308,9 +344,12 @@ def format_summary(summary: Dict[str, object]) -> str:
         "  bubble attribution (mean fraction of makespan per stage):",
     ]
     for key in ("startup", "csp_wait", "fetch_stall", "drain", "other_idle"):
-        lines.append(f"    {key:<12s} {attribution[key]:.4f}")
+        lines.append(
+            f"    {key:<12s} {attribution[key]:.4f} ({_pct(attribution[key]):>6s})"
+        )
     lines.append(
         "  stage  busy_ms  startup  csp_wait  fetch_stall  drain  other"
+        "  cp_share"
     )
     for row in summary["per_stage"]:
         lines.append(
@@ -318,11 +357,10 @@ def format_summary(summary: Dict[str, object]) -> str:
             "{fetch_stall_ms:11.1f} {drain_ms:6.1f} {other_idle_ms:6.1f}".format(
                 **row
             )
+            + f"  {_pct(row.get('cp_share', 0.0)):>8s}"
         )
     cache = summary["cache"]
-    hit = (
-        f"{cache['hit_rate'] * 100:.1f}%" if cache["hit_rate"] is not None else "N/A"
-    )
+    hit = _pct(cache["hit_rate"]) if cache["hit_rate"] is not None else "N/A"
     lines.append(
         f"  cache          {cache['hits']} hits / {cache['misses']} misses ({hit})"
     )

@@ -20,6 +20,7 @@ in library form.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import tempfile
 from dataclasses import dataclass, field
@@ -81,6 +82,29 @@ class RunManifest:
     checkpoint_cuts: List[int] = field(default_factory=list)
     attempts: Optional[int] = None
     mitigation_actions: List[Dict[str, object]] = field(default_factory=list)
+
+    #: fields that record what the run *produced* rather than what it
+    #: *was* — excluded from the identity digest so a manifest digests
+    #: the same before and after its outcomes are filled in
+    OUTCOME_FIELDS = (
+        "digest",
+        "losses",
+        "completion_order",
+        "makespan_ms",
+        "checkpoint_cuts",
+        "attempts",
+        "mitigation_actions",
+    )
+
+    def config_digest(self) -> str:
+        """SHA-256 over the manifest's identity fields (canonical JSON,
+        outcomes excluded) — the key the run registry
+        (:mod:`repro.obs.registry`) files runs under."""
+        payload = dataclasses.asdict(self)
+        for field_name in self.OUTCOME_FIELDS:
+            payload.pop(field_name, None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:

@@ -150,6 +150,23 @@ class ExecutionTrace:
         wanted = set(kinds)
         return (event for event in self.events if event.kind in wanted)
 
+    def intervals_by_gpu(
+        self, kinds: Tuple[str, ...] = ("fwd", "bwd", "stall")
+    ) -> Dict[int, List[BusyInterval]]:
+        """Per-GPU interval lists of the given kinds, sorted by
+        ``(start, end)`` — the layout :mod:`repro.obs.critical_path`
+        walks.  Every GPU in ``range(num_gpus)`` gets an entry (possibly
+        empty) so downstream code never special-cases silent stages."""
+        per_gpu: Dict[int, List[BusyInterval]] = {
+            gpu: [] for gpu in range(self.num_gpus)
+        }
+        for interval in self.intervals:
+            if interval.kind in kinds and interval.gpu_id in per_gpu:
+                per_gpu[interval.gpu_id].append(interval)
+        for intervals in per_gpu.values():
+            intervals.sort(key=lambda i: (i.start, i.end))
+        return per_gpu
+
     def event_kinds(self) -> List[str]:
         """Sorted distinct event kinds present in this trace."""
         return sorted({event.kind for event in self.events})

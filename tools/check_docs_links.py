@@ -7,6 +7,10 @@ file, and fails (exit 1) listing any that point at missing files.
 External links (``http(s)://``, ``mailto:``) and pure in-page anchors
 (``#...``) are skipped; a ``path#anchor`` target is checked for the path
 only. Run from anywhere: ``python tools/check_docs_links.py``.
+
+Also enforces the documentation contract: the docs in ``REQUIRED_DOCS``
+must exist, and each must be linked from at least one *other* markdown
+file (a doc nothing points to is unreachable from the reading paths).
 """
 
 from __future__ import annotations
@@ -22,6 +26,17 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 # ')' — good enough for the plain paths these docs use.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _EXTERNAL = ("http://", "https://", "mailto:")
+
+#: docs that must exist and be cross-linked from at least one other
+#: markdown file (repo-root-relative)
+REQUIRED_DOCS = (
+    "docs/ANALYSIS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TRACING.md",
+    "docs/FAULT_TOLERANCE.md",
+    "docs/API.md",
+    "docs/TESTING.md",
+)
 
 
 def markdown_files() -> List[Path]:
@@ -44,6 +59,7 @@ def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
 
 def check() -> List[str]:
     problems: List[str] = []
+    linked_from: dict = {}  # resolved target -> set of source files
     for path in markdown_files():
         for lineno, target in iter_links(path):
             if target.startswith(_EXTERNAL) or target.startswith("#"):
@@ -55,6 +71,19 @@ def check() -> List[str]:
             if not resolved.exists():
                 where = path.relative_to(REPO_ROOT)
                 problems.append(f"{where}:{lineno}: broken link -> {target}")
+            else:
+                linked_from.setdefault(resolved, set()).add(path.resolve())
+    for required in REQUIRED_DOCS:
+        doc = (REPO_ROOT / required).resolve()
+        if not doc.exists():
+            problems.append(f"{required}: required doc is missing")
+            continue
+        sources = linked_from.get(doc, set()) - {doc}
+        if not sources:
+            problems.append(
+                f"{required}: required doc is not linked from any other "
+                "markdown file"
+            )
     return problems
 
 
