@@ -122,6 +122,12 @@ def _run_one(name: str, args) -> str:
             payload = scheduler_cost.run_scaling(
                 stream_lens=lens, seed=args.seed
             )
+            # End-to-end simulator throughput (events/sec) rides along:
+            # the pipeline row's makespan is additionally gated bitwise
+            # against the committed baseline (determinism check).
+            payload["engine"] = scheduler_cost.run_engine_bench(
+                seed=args.seed
+            )
             out.append(scheduler_cost.format_scaling_text(payload))
             if args.json:
                 path = scheduler_cost.write_bench_json(payload, args.json)
@@ -210,6 +216,53 @@ def _config_identity(config, num_gpus, scale):
     }
 
 
+def _analyze_one_gpu_count(task):
+    """One GPU count's analysis — module-level so ``--jobs`` can ship it
+    to a worker process.  Returns ``(payload_entry, lines, record)``;
+    ``record`` is the registry record (or None), appended by the
+    *parent* in sweep order so the registry stays deterministic.
+    """
+    config, scale, run_kwargs, gpus, register = task
+
+    from repro.obs import what_if_report
+    from repro.obs.registry import run_record
+
+    result = _run_config(config, scale, dict(run_kwargs, num_gpus=gpus))
+    breakdown = result.critical_path()
+    whatif = what_if_report(result.trace)
+    entry = {
+        "num_gpus": gpus,
+        "summary": result.trace_summary(),
+        "critical_path": breakdown,
+        "what_if": whatif,
+    }
+    lines = [
+        f"{result.system} on {result.space}, D={gpus}: "
+        f"makespan {breakdown['makespan_ms']:.1f} ms, "
+        f"critical path {breakdown['num_segments']} segments",
+        "  critical path by resource (ms / fraction):",
+    ]
+    for resource, ms in breakdown["by_resource_ms"].items():
+        if ms <= 0:
+            continue
+        fraction = breakdown["by_resource_fraction"][resource]
+        lines.append(f"    {resource:<16s} {ms:10.1f}  {fraction:6.1%}")
+    lines.append("  what-if projections (ranked by savings):")
+    for name in whatif["ranked"]:
+        scenario = whatif["scenarios"][name]
+        lines.append(
+            f"    {name:<20s} -> {scenario['projected_makespan_ms']:10.1f} ms "
+            f"(saves {scenario['savings_ms']:8.1f} ms, "
+            f"{scenario['savings_fraction']:5.1%})"
+        )
+    record = None
+    if register:
+        record = run_record(
+            result, identity=_config_identity(config, gpus, scale)
+        )
+    return entry, lines, record
+
+
 def _analyze(args) -> str:
     """``naspipe analyze <config>``: run one configured schedule, print
     the critical-path breakdown and what-if projections, and optionally
@@ -217,7 +270,9 @@ def _analyze(args) -> str:
 
     Takes the same JSON config as ``naspipe trace`` (plus optional
     ``space_overrides``).  ``--sweep-gpus 2 4 8`` repeats the analysis
-    per GPU count; ``--json PATH`` writes the machine-readable payload
+    per GPU count; ``--jobs N`` shards the sweep over N worker
+    processes (output and registry order stay byte-identical to a
+    serial sweep); ``--json PATH`` writes the machine-readable payload
     (deterministic canonical JSON); ``--register`` appends a run record
     to ``--registry`` (default ``.naspipe/runs.jsonl``).  See
     ``docs/ANALYSIS.md`` for what the numbers mean.
@@ -225,55 +280,32 @@ def _analyze(args) -> str:
     import json
     from pathlib import Path
 
-    from repro.obs import what_if_report
-    from repro.obs.registry import append_run, run_record
+    from repro.obs.registry import append_run
 
     config_path = Path(args.config)
     config, scale, run_kwargs = _load_run_config(
         config_path, default_seed=args.seed
     )
     gpu_counts = [int(g) for g in (args.sweep_gpus or [scale.num_gpus])]
+    tasks = [
+        (config, scale, run_kwargs, gpus, args.register)
+        for gpus in gpu_counts
+    ]
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_analyze_one_gpu_count, tasks))
+    else:
+        outcomes = [_analyze_one_gpu_count(task) for task in tasks]
 
     lines = []
     payload = {"schema": 1, "config": str(config_path), "runs": []}
-    registry_path = None
-    for gpus in gpu_counts:
-        result = _run_config(
-            config, scale, dict(run_kwargs, num_gpus=gpus)
-        )
-        breakdown = result.critical_path()
-        whatif = what_if_report(result.trace)
-        payload["runs"].append(
-            {
-                "num_gpus": gpus,
-                "summary": result.trace_summary(),
-                "critical_path": breakdown,
-                "what_if": whatif,
-            }
-        )
-        lines.append(
-            f"{result.system} on {result.space}, D={gpus}: "
-            f"makespan {breakdown['makespan_ms']:.1f} ms, "
-            f"critical path {breakdown['num_segments']} segments"
-        )
-        lines.append("  critical path by resource (ms / fraction):")
-        for resource, ms in breakdown["by_resource_ms"].items():
-            if ms <= 0:
-                continue
-            fraction = breakdown["by_resource_fraction"][resource]
-            lines.append(f"    {resource:<16s} {ms:10.1f}  {fraction:6.1%}")
-        lines.append("  what-if projections (ranked by savings):")
-        for name in whatif["ranked"]:
-            scenario = whatif["scenarios"][name]
-            lines.append(
-                f"    {name:<20s} -> {scenario['projected_makespan_ms']:10.1f} ms "
-                f"(saves {scenario['savings_ms']:8.1f} ms, "
-                f"{scenario['savings_fraction']:5.1%})"
-            )
-        if args.register:
-            record = run_record(
-                result, identity=_config_identity(config, gpus, scale)
-            )
+    for entry, gpu_lines, record in outcomes:
+        payload["runs"].append(entry)
+        lines.extend(gpu_lines)
+        if record is not None:
             registry_path = append_run(record, args.registry)
             lines.append(
                 f"  [registered run {record['run_id']} in {registry_path}]"
@@ -508,6 +540,7 @@ def _chaos(args) -> str:
         nic_slowdown=float(config.get("nic_slowdown", 4.0)),
         degradation=config.get("degradation", True),
         batch=config.get("batch"),
+        jobs=getattr(args, "jobs", 1) or 1,
     )
     text = format_chaos_report(report)
     if args.json:
@@ -709,6 +742,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         help="analyze: repeat the analysis at these GPU counts "
         "(default: the config's num_gpus)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze/chaos: shard the sweep across N worker processes; "
+        "the merged output is byte-identical to a serial run",
     )
     parser.add_argument(
         "--register",

@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.nn.parameter_store import LayerId
 from repro.sim.devices import CopyEngine
-from repro.sim.trace import ExecutionTrace
+from repro.sim.trace import ExecutionTrace, TraceEvent
 from repro.supernet.supernet import Supernet
 
 __all__ = ["StageContextManager", "FetchPlan"]
@@ -71,6 +71,9 @@ class StageContextManager:
         self.capacity_bytes = capacity_bytes
         self.trace = trace
         self._entries: "OrderedDict[LayerId, _CacheEntry]" = OrderedDict()
+        #: per-layer param_bytes memo — ``_fetch`` runs ~6 times per task
+        #: and the profile lookup chain is measurable at that rate
+        self._nbytes_of: Dict[LayerId, int] = {}
         self.resident_bytes = 0
         self.peak_resident_bytes = 0
         self.writeback_bytes = 0
@@ -104,6 +107,8 @@ class StageContextManager:
         """
         if needed > self.capacity_bytes:
             return  # single working set larger than cache: run oversubscribed
+        if self.resident_bytes + needed <= self.capacity_bytes:
+            return  # already fits: skip the LRU walk (the common case)
         for layer in list(self._entries):
             if self.resident_bytes + needed <= self.capacity_bytes:
                 break
@@ -122,15 +127,20 @@ class StageContextManager:
         self, layer: LayerId, entry: _CacheEntry, now: float, reason: str
     ) -> None:
         if self.trace is not None:
-            self.trace.record_event(
-                "eviction",
-                now,
-                stage=self.stage,
-                block=layer[0],
-                choice=layer[1],
-                nbytes=entry.nbytes,
-                dirty=entry.dirty,
-                reason=reason,
+            self.trace.append_event(
+                TraceEvent(
+                    "eviction",
+                    now,
+                    self.stage,
+                    -1,
+                    (
+                        ("block", layer[0]),
+                        ("choice", layer[1]),
+                        ("nbytes", entry.nbytes),
+                        ("dirty", entry.dirty),
+                        ("reason", reason),
+                    ),
+                )
             )
 
     def _fetch(
@@ -143,32 +153,47 @@ class StageContextManager:
         only annotates the emitted ``prefetch_issue``/``prefetch_land``
         events, the copy mechanics are identical.
         """
-        nbytes = self.supernet.profile(layer).param_bytes
+        nbytes = self._nbytes_of.get(layer)
+        if nbytes is None:
+            nbytes = self.supernet.profile(layer).param_bytes
+            self._nbytes_of[layer] = nbytes
         self._evict_for(nbytes, now)
         completion = self.copy_engine.enqueue(nbytes, now)
         self._entries[layer] = _CacheEntry(nbytes=nbytes, ready_at=completion)
         self.resident_bytes += nbytes
-        self.peak_resident_bytes = max(self.peak_resident_bytes, self.resident_bytes)
+        if self.resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self.resident_bytes
         self.fetch_bytes += nbytes
         if self.trace is not None:
-            self.trace.record_event(
-                "prefetch_issue",
-                now,
-                stage=self.stage,
-                block=layer[0],
-                choice=layer[1],
-                nbytes=nbytes,
-                demand=demand,
-                land=completion,
+            block, choice = layer
+            self.trace.append_event(
+                TraceEvent(
+                    "prefetch_issue",
+                    now,
+                    self.stage,
+                    -1,
+                    (
+                        ("block", block),
+                        ("choice", choice),
+                        ("nbytes", nbytes),
+                        ("demand", demand),
+                        ("land", completion),
+                    ),
+                )
             )
-            self.trace.record_event(
-                "prefetch_land",
-                completion,
-                stage=self.stage,
-                block=layer[0],
-                choice=layer[1],
-                nbytes=nbytes,
-                demand=demand,
+            self.trace.append_event(
+                TraceEvent(
+                    "prefetch_land",
+                    completion,
+                    self.stage,
+                    -1,
+                    (
+                        ("block", block),
+                        ("choice", choice),
+                        ("nbytes", nbytes),
+                        ("demand", demand),
+                    ),
+                )
             )
         return completion, nbytes
 
@@ -213,28 +238,36 @@ class StageContextManager:
         misses = 0
         fetched = 0
         ready = now
+        entries = self._entries
         for layer in layers:
-            entry = self._entries.get(layer)
+            entry = entries.get(layer)
             if entry is not None and entry.ready_at <= now:
                 hits += 1
-                self._touch(layer)
+                entries.move_to_end(layer)
             else:
                 misses += 1
                 if entry is None:
                     completion, nbytes = self._fetch(layer, now, demand=True)
                     fetched += nbytes
+                    entry = entries[layer]
                 else:
                     completion = entry.ready_at
-                    self._touch(layer)
+                    entries.move_to_end(layer)
                 ready = max(ready, completion)
-            self._entries[layer].pins += 1
+            entry.pins += 1
         self.hits += hits
         self.misses += misses
         if self.trace is not None:
             self.trace.record_cache_access(True, hits)
             self.trace.record_cache_access(False, misses)
-            self.trace.record_event(
-                "cache_access", now, stage=self.stage, hits=hits, misses=misses
+            self.trace.append_event(
+                TraceEvent(
+                    "cache_access",
+                    now,
+                    self.stage,
+                    -1,
+                    (("hits", hits), ("misses", misses)),
+                )
             )
         return FetchPlan(ready_time=ready, hits=hits, misses=misses, fetched_bytes=fetched)
 

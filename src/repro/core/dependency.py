@@ -289,6 +289,13 @@ class DependencyTracker:
         scope = self._scopes.get(scope_key)
         return list(scope.ready) if scope is not None else []
 
+    def ready_count(self, scope_key: Hashable) -> int:
+        """``len(ready_ids(scope_key))`` without copying the list — the
+        per-decision counter sample in the CSP policy only needs the
+        size."""
+        scope = self._scopes.get(scope_key)
+        return len(scope.ready) if scope is not None else 0
+
     def first_ready(
         self, scope_key: Hashable, skip: Optional[Set[int]] = None
     ) -> Optional[int]:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import SchedulingError
-from repro.sim.trace import ExecutionTrace
+from repro.sim.trace import ExecutionTrace, TraceEvent
 from repro.supernet.subnet import Subnet
 
 __all__ = ["CspStageState"]
@@ -59,12 +59,17 @@ class CspStageState:
     # ------------------------------------------------------------------
     def _sample_depth(self) -> None:
         if self.trace is not None and self.clock is not None:
-            self.trace.record_event(
-                "queue_depth",
-                self.clock(),
-                stage=self.stage,
-                fwd=len(self.queue),
-                bwd=len(self.backward_ready),
+            self.trace.append_event(
+                TraceEvent(
+                    "queue_depth",
+                    self.clock(),
+                    self.stage,
+                    -1,
+                    (
+                        ("fwd", len(self.queue)),
+                        ("bwd", len(self.backward_ready)),
+                    ),
+                )
             )
 
     # ------------------------------------------------------------------

@@ -52,7 +52,15 @@ __all__ = ["PipelineEngine", "PipelineResult"]
 
 @dataclass
 class _SubnetRun:
-    """Mutable per-subnet in-flight state."""
+    """Mutable per-subnet in-flight state.
+
+    The ``stage_layers`` / ``fwd_ms`` / ``bwd_ms`` / ``boundary_bytes``
+    tuples are precomputed once at injection: every scheduler decision,
+    task dispatch and boundary transfer consults them, and recomputing
+    layer slices and profile sums per event dominated the hot path.  The
+    duration sums replicate the original per-layer accumulation order
+    exactly, so makespans stay bitwise identical.
+    """
 
     subnet: Subnet
     partition: Partition
@@ -62,6 +70,14 @@ class _SubnetRun:
     activations: Dict[int, StageActivation] = field(default_factory=dict)
     buffered_updates: List[PendingUpdate] = field(default_factory=list)
     loss: Optional[float] = None
+    #: per-stage interned layer slices (partition applied once)
+    stage_layers: Tuple[Tuple[LayerId, ...], ...] = ()
+    #: per-stage forward compute, unscaled reference ms
+    fwd_ms: Tuple[float, ...] = ()
+    #: per-stage backward compute (+ recompute re-forward), unscaled ms
+    bwd_ms: Tuple[float, ...] = ()
+    #: per-stage boundary activation bytes for the run's batch
+    boundary_bytes: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -205,6 +221,8 @@ class PipelineEngine:
                     0, breakdown.total, breakdown.usable_bytes
                 )
         self.batch = batch
+        #: batch-dependent compute scaling, constant for the whole run
+        self._batch_scale = supernet.batch_time_scale(batch)
 
         self.trace = ExecutionTrace(num_gpus=self.stages)
         self.sim = SimulationEngine(trace=self.trace)
@@ -315,10 +333,8 @@ class PipelineEngine:
     def subnet_of(self, subnet_id: int) -> Subnet:
         return self.runs[subnet_id].subnet
 
-    def stage_layers(self, subnet_id: int, stage: int) -> List[LayerId]:
-        run = self.runs[subnet_id]
-        start, stop = run.partition[stage]
-        return run.subnet.layers_in_range(start, stop)
+    def stage_layers(self, subnet_id: int, stage: int) -> Sequence[LayerId]:
+        return self.runs[subnet_id].stage_layers[stage]
 
     def active_started_count(self) -> int:
         """Subnets whose first forward has begun but which have not
@@ -372,6 +388,7 @@ class PipelineEngine:
             assert subnet is not None
             partition = self._partition_for(subnet)
             run = _SubnetRun(subnet, partition, self.sim.now)
+            self._precompute_run(run)
             self.runs[subnet.subnet_id] = run
             self.inflight.add(subnet.subnet_id)
             for state in self.stage_states:
@@ -471,18 +488,47 @@ class PipelineEngine:
             )
         return delay
 
+    def _precompute_run(self, run: _SubnetRun) -> None:
+        """Freeze the per-stage views of one injected subnet.
+
+        The backward sums interleave ``bwd + fwd`` per layer exactly as
+        the original per-event loop did (float addition is not
+        associative; a reordered sum would shift makespans bitwise).
+        """
+        profile = self.supernet.profile
+        recompute = self.config.recompute
+        stage_layers = tuple(
+            run.subnet.layers_in_range(start, stop)
+            for start, stop in run.partition
+        )
+        fwd_ms: List[float] = []
+        bwd_ms: List[float] = []
+        boundary: List[int] = []
+        for layers in stage_layers:
+            fwd = 0.0
+            bwd = 0.0
+            for layer in layers:
+                p = profile(layer)
+                fwd += p.fwd_ms_ref
+                bwd += p.bwd_ms_ref
+                if recompute:
+                    bwd += p.fwd_ms_ref  # checkpoint re-forward
+            fwd_ms.append(fwd)
+            bwd_ms.append(bwd)
+            boundary.append(
+                profile(layers[-1]).activation_bytes_per_sample * self.batch
+                if layers
+                else 0
+            )
+        run.stage_layers = stage_layers
+        run.fwd_ms = tuple(fwd_ms)
+        run.bwd_ms = tuple(bwd_ms)
+        run.boundary_bytes = tuple(boundary)
+
     def _task_duration_ms(self, subnet_id: int, stage: int, is_backward: bool) -> float:
-        scale = self.supernet.batch_time_scale(self.batch)
-        total = 0.0
-        for layer in self.stage_layers(subnet_id, stage):
-            profile = self.supernet.profile(layer)
-            if is_backward:
-                total += profile.bwd_ms_ref
-                if self.config.recompute:
-                    total += profile.fwd_ms_ref  # checkpoint re-forward
-            else:
-                total += profile.fwd_ms_ref
-        return total * scale * self.cluster.spec.speed_factor(stage)
+        run = self.runs[subnet_id]
+        base = run.bwd_ms[stage] if is_backward else run.fwd_ms[stage]
+        return base * self._batch_scale * self.cluster.spec.speed_factor(stage)
 
     #: oversubscription level treated as a GPU OOM, and the penalty paid
     #: to catch the exception, reclaim memory and re-execute the stage
@@ -645,13 +691,7 @@ class PipelineEngine:
         self._try_inject()
 
     def _boundary_bytes(self, subnet_id: int, stage: int) -> int:
-        layers = self.stage_layers(subnet_id, stage)
-        per_sample = (
-            self.supernet.profile(layers[-1]).activation_bytes_per_sample
-            if layers
-            else 0
-        )
-        return per_sample * self.batch
+        return self.runs[subnet_id].boundary_bytes[stage]
 
     def _finish_forward(self, stage: int, subnet_id: int) -> None:
         now = self.sim.now

@@ -142,7 +142,7 @@ class CspPolicy(SyncPolicy):
         now = sim.now
         state = self.engine.stage_states[stage]
         if self.scheduler.uses_index:
-            size = len(self.tracker.ready_ids(stage))
+            size = self.tracker.ready_count(stage)
             if self._ready_size.get(stage) != size:
                 self._ready_size[stage] = size
                 trace.record_event("ready_set", now, stage=stage, size=size)

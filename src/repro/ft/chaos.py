@@ -26,7 +26,7 @@ scenario is a *repro case*, not a flake: re-running the same
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import DeadlockError
@@ -46,6 +46,7 @@ from repro.supernet.supernet import Supernet
 
 __all__ = [
     "NONFATAL_KINDS",
+    "BaselineSummary",
     "chaos_invariants",
     "run_chaos_scenario",
     "chaos_sweep",
@@ -135,6 +136,31 @@ def chaos_invariants(
     return violations
 
 
+class BaselineSummary(NamedTuple):
+    """The slice of an unfaulted run the invariant suite actually reads.
+
+    The full run result drags the trace and engine state along — too
+    heavy (and unnecessary) to ship to worker processes.  Every
+    ``baseline`` consumer in this module reads only these four fields,
+    so the sharded sweep sends this summary over the process boundary
+    and the serial sweep's reports stay byte-identical.
+    """
+
+    digest: str
+    losses: Dict[int, float]
+    makespan_ms: float
+    peak_cache_bytes: Optional[int]
+
+    @classmethod
+    def from_result(cls, result) -> "BaselineSummary":
+        return cls(
+            digest=result.digest,
+            losses=result.losses,
+            makespan_ms=result.makespan_ms,
+            peak_cache_bytes=result.peak_cache_bytes,
+        )
+
+
 def run_chaos_scenario(
     space: SearchSpace,
     config: SystemConfig,
@@ -218,6 +244,20 @@ def run_chaos_scenario(
     return scenario
 
 
+def _baseline_worker(task: Tuple) -> BaselineSummary:
+    """Process-pool phase 1: one GPU count's unfaulted baseline."""
+    space, config, kwargs = task
+    return BaselineSummary.from_result(
+        run_uninterrupted(space, config, **kwargs)
+    )
+
+
+def _scenario_worker(task: Tuple) -> Dict[str, object]:
+    """Process-pool phase 2: one seeded fault scenario."""
+    space, config, baseline, kwargs = task
+    return run_chaos_scenario(space, config, baseline=baseline, **kwargs)
+
+
 def chaos_sweep(
     space: SearchSpace,
     config: SystemConfig,
@@ -233,54 +273,103 @@ def chaos_sweep(
     batch: Optional[int] = None,
     functional_batch: int = 8,
     on_scenario: Optional[Callable[[Dict[str, object]], None]] = None,
+    jobs: int = 1,
 ) -> Dict[str, object]:
     """``scenarios`` seeded fault schedules × every GPU count, each run
     against that GPU count's unfaulted baseline.
 
     Returns a JSON-stable report; ``report["ok"]`` is the single gate a
     CI job needs.
+
+    ``jobs > 1`` shards the sweep over a process pool: phase 1 runs the
+    per-GPU baselines concurrently, phase 2 runs every ``(gpus, index)``
+    scenario concurrently, and the parent merges results in the serial
+    loop's ``(gpus, index)`` order — the report is **byte-identical** to
+    a ``jobs=1`` run (every run is virtual-clock deterministic; only
+    wall-clock completion order varies, and the merge ignores it).
+    ``on_scenario`` fires in merged order, in the parent.
     """
+
+    def scenario_kwargs(num_gpus: int, index: int) -> Dict[str, object]:
+        return dict(
+            num_gpus=num_gpus,
+            steps=steps,
+            seed=seed,
+            fault_seed=seed * 100_003 + index,
+            mtbf_fraction=mtbf_fraction,
+            stall_ms=stall_ms,
+            nic_slowdown=nic_slowdown,
+            degradation=degradation,
+            batch=batch,
+            functional_batch=functional_batch,
+            stream_name=f"chaos/{num_gpus}gpu/{index}",
+        )
+
+    pairs = [(g, i) for g in gpus for i in range(scenarios)]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        baseline_kwargs = dict(
+            steps=steps, seed=seed, batch=batch,
+            functional_batch=functional_batch,
+        )
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            baseline_futures = {
+                g: pool.submit(
+                    _baseline_worker,
+                    (space, config, dict(baseline_kwargs, num_gpus=g)),
+                )
+                for g in gpus
+            }
+            baselines = {g: f.result() for g, f in baseline_futures.items()}
+            scenario_futures = {
+                (g, i): pool.submit(
+                    _scenario_worker,
+                    (space, config, baselines[g], scenario_kwargs(g, i)),
+                )
+                for g, i in pairs
+            }
+            ordered = [scenario_futures[pair].result() for pair in pairs]
+    else:
+        baselines = {}
+        ordered = []
+        for num_gpus, index in pairs:
+            if num_gpus not in baselines:
+                baselines[num_gpus] = BaselineSummary.from_result(
+                    run_uninterrupted(
+                        space,
+                        config,
+                        num_gpus=num_gpus,
+                        steps=steps,
+                        seed=seed,
+                        batch=batch,
+                        functional_batch=functional_batch,
+                    )
+                )
+            ordered.append(
+                run_chaos_scenario(
+                    space,
+                    config,
+                    baseline=baselines[num_gpus],
+                    **scenario_kwargs(num_gpus, index),
+                )
+            )
+
     rows: List[Dict[str, object]] = []
     violations: List[str] = []
     total_faults = 0
     total_mitigations = 0
-    for num_gpus in gpus:
-        baseline = run_uninterrupted(
-            space,
-            config,
-            num_gpus=num_gpus,
-            steps=steps,
-            seed=seed,
-            batch=batch,
-            functional_batch=functional_batch,
-        )
-        for index in range(scenarios):
-            fault_seed = seed * 100_003 + index
-            scenario = run_chaos_scenario(
-                space,
-                config,
-                baseline=baseline,
-                num_gpus=num_gpus,
-                steps=steps,
-                seed=seed,
-                fault_seed=fault_seed,
-                mtbf_fraction=mtbf_fraction,
-                stall_ms=stall_ms,
-                nic_slowdown=nic_slowdown,
-                degradation=degradation,
-                batch=batch,
-                functional_batch=functional_batch,
-                stream_name=f"chaos/{num_gpus}gpu/{index}",
+    for (num_gpus, index), scenario in zip(pairs, ordered):
+        rows.append(scenario)
+        total_faults += scenario["faults"]
+        total_mitigations += scenario["mitigations"]
+        for violation in scenario["violations"]:
+            violations.append(
+                f"[gpus={num_gpus} fault_seed={scenario['fault_seed']}] "
+                f"{violation}"
             )
-            rows.append(scenario)
-            total_faults += scenario["faults"]
-            total_mitigations += scenario["mitigations"]
-            for violation in scenario["violations"]:
-                violations.append(
-                    f"[gpus={num_gpus} fault_seed={fault_seed}] {violation}"
-                )
-            if on_scenario is not None:
-                on_scenario(scenario)
+        if on_scenario is not None:
+            on_scenario(scenario)
     return {
         "schema": 1,
         "system": config.name,

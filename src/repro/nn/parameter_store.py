@@ -25,11 +25,26 @@ import numpy as np
 
 from repro.errors import SearchSpaceError
 
-__all__ = ["AccessKind", "AccessRecord", "ParameterStore", "LayerId"]
+__all__ = ["AccessKind", "AccessRecord", "ParameterStore", "LayerId", "intern_layer"]
 
 #: A layer is identified by (choice block index, candidate index) — the
 #: paper's l_x^i notation.
 LayerId = Tuple[int, int]
+
+#: canonical instance per (block, choice) pair — see :func:`intern_layer`
+_LAYER_INTERN: Dict[LayerId, LayerId] = {}
+
+
+def intern_layer(layer: LayerId) -> LayerId:
+    """Canonicalise a layer id so equal pairs share one tuple object.
+
+    Layer ids are the hot dict/set keys of the whole system — the
+    dependency tracker's edge maps, the context manager's residency
+    table, the parameter store itself.  Sharing one object per distinct
+    id makes the equality step of every hash probe an identity hit and
+    bounds tuple churn at the search space's (blocks × choices) size.
+    """
+    return _LAYER_INTERN.setdefault(layer, layer)
 
 
 class AccessKind(enum.Enum):

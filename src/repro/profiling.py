@@ -182,7 +182,9 @@ def profile_scheduler_stream(
         return subnets[subnet_id].layers_in_range(0, slice_stop)
 
     tracker = DependencyTracker()
-    scheduler = CspScheduler(mode=mode)
+    # Full wall-time accounting: this harness *is* the measurement, so
+    # the sampled default would leave mean_call_us a 1-in-N estimate.
+    scheduler = CspScheduler(mode=mode, timing="full")
     use_index = scheduler.uses_index
     scope = 0
     queue: List[int] = []

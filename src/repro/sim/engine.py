@@ -50,26 +50,30 @@ class SimulationEngine:
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the queue drains (or ``until`` is reached).
 
-        Returns the final virtual time.
+        Returns the final virtual time.  The loop is a single fused
+        ``pop_until`` per event — no separate peek — and the event budget
+        is checked *before* firing, so the raised error names the first
+        over-budget event and the trace never contains its effects.
         """
+        queue = self.queue
+        pop_until = queue.pop_until
+        max_events = self.max_events
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                if self.trace is not None:
-                    self.trace.record_event(
-                        "sim_quiescent",
-                        self.now,
-                        events_processed=self.events_processed,
-                    )
+            event = pop_until(until)
+            if event is None:
+                if len(queue) == 0:
+                    if self.trace is not None:
+                        self.trace.record_event(
+                            "sim_quiescent",
+                            self.now,
+                            events_processed=self.events_processed,
+                        )
                 return self.now
-            if until is not None and next_time > until:
-                return self.now
-            event = self.queue.pop()
-            assert event is not None
+            if self.events_processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events}); likely a "
+                    f"scheduling livelock (first over-budget event "
+                    f"{event.label!r})"
+                )
             event.callback()
             self.events_processed += 1
-            if self.events_processed > self.max_events:
-                raise SimulationError(
-                    f"event budget exhausted ({self.max_events}); "
-                    f"likely a scheduling livelock (last event {event.label!r})"
-                )

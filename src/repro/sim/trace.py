@@ -29,13 +29,12 @@ byte quantities are plain bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 __all__ = ["BusyInterval", "TraceEvent", "ExecutionTrace"]
 
 
-@dataclass(frozen=True)
-class BusyInterval:
+class BusyInterval(NamedTuple):
     """One span of GPU occupancy.
 
     ``kind`` is ``"fwd"``/``"bwd"`` for compute and ``"stall"`` for any
@@ -43,6 +42,10 @@ class BusyInterval:
     migration or an OOM retry.  Compute intervals are what Table 2's
     bubble/ALU columns count as *busy*; stalls count as idle.
     Units: ``start``/``end`` in virtual ms.
+
+    A :class:`NamedTuple` rather than a frozen dataclass: traces append
+    tens of thousands of these per run, and tuple construction is the
+    cheapest immutable record CPython offers.
     """
 
     gpu_id: int
@@ -56,8 +59,7 @@ class BusyInterval:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One structured observability event.
 
     ``kind`` names the event type (the registry in
@@ -67,7 +69,9 @@ class TraceEvent:
     is ``-1`` when the event is not tied to one subnet.  ``attrs`` holds
     the kind-specific payload as a tuple of ``(key, value)`` pairs so
     the event stays hashable and its serialisation deterministic.
-    ``time`` is in virtual ms.
+    ``time`` is in virtual ms.  A :class:`NamedTuple` for the same
+    reason as :class:`BusyInterval` — event emission is the hottest
+    allocation site in the whole simulator.
     """
 
     kind: str
@@ -128,8 +132,24 @@ class ExecutionTrace:
         """Append one typed event (see ``docs/TRACING.md`` for kinds)."""
         event = TraceEvent(kind, time, stage, subnet_id, tuple(attrs.items()))
         self.events.append(event)
-        for listener in self.listeners:
-            listener(event)
+        if self.listeners:
+            for listener in self.listeners:
+                listener(event)
+
+    def append_event(self, event: TraceEvent) -> None:
+        """Append a pre-built event — the hot-path twin of
+        :meth:`record_event`.
+
+        The kwargs form pays a dict build plus ``items()`` per call; the
+        cache layer alone emits ~70% of a run's events, so its emitters
+        construct the :class:`TraceEvent` (attrs as a literal tuple, same
+        key order as the kwargs form) and hand it over whole.  Both paths
+        produce byte-identical event streams.
+        """
+        self.events.append(event)
+        if self.listeners:
+            for listener in self.listeners:
+                listener(event)
 
     def record_cache_access(self, hit: bool, count: int = 1) -> None:
         if hit:

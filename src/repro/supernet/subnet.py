@@ -10,9 +10,9 @@ later one must then wait for the earlier one's WRITE on every shared layer
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from repro.nn.parameter_store import LayerId
+from repro.nn.parameter_store import LayerId, intern_layer
 
 __all__ = ["Subnet"]
 
@@ -23,6 +23,13 @@ class Subnet:
 
     ``subnet_id`` is the sequence ID assigned by the exploration
     algorithm — the total order CSP must be equivalent to.
+
+    Layer-id views (:meth:`layer_ids`, :meth:`layers_in_range`) are
+    computed once, interned through
+    :func:`repro.nn.parameter_store.intern_layer` and cached on the
+    instance — they are consulted on every scheduler decision and cache
+    probe, and immutability makes memoisation free.  They return tuples;
+    callers must not rely on list identity.
     """
 
     subnet_id: int
@@ -36,16 +43,38 @@ class Subnet:
     def num_blocks(self) -> int:
         return len(self.choices)
 
-    def layer_ids(self) -> List[LayerId]:
+    def layer_ids(self) -> Tuple[LayerId, ...]:
         """The (block, choice) identity of every activated layer."""
-        return [(block, choice) for block, choice in enumerate(self.choices)]
+        cached = self.__dict__.get("_layer_ids")
+        if cached is None:
+            cached = tuple(
+                intern_layer((block, choice))
+                for block, choice in enumerate(self.choices)
+            )
+            object.__setattr__(self, "_layer_ids", cached)
+        return cached
 
     def layer_id_set(self) -> FrozenSet[LayerId]:
-        return frozenset(self.layer_ids())
+        cached = self.__dict__.get("_layer_id_set")
+        if cached is None:
+            cached = frozenset(self.layer_ids())
+            object.__setattr__(self, "_layer_id_set", cached)
+        return cached
 
-    def layers_in_range(self, start: int, stop: int) -> List[LayerId]:
+    def layers_in_range(self, start: int, stop: int) -> Tuple[LayerId, ...]:
         """Layers of blocks ``[start, stop)`` — one pipeline stage's slice."""
-        return [(block, self.choices[block]) for block in range(start, stop)]
+        ranges: Dict[Tuple[int, int], Tuple[LayerId, ...]] = self.__dict__.get(
+            "_range_cache"
+        )
+        if ranges is None:
+            ranges = {}
+            object.__setattr__(self, "_range_cache", ranges)
+        cached = ranges.get((start, stop))
+        if cached is None:
+            layers = self.layer_ids()
+            cached = layers[max(start, 0) : max(stop, 0)]
+            ranges[(start, stop)] = cached
+        return cached
 
     def shared_layers(self, other: "Subnet") -> List[LayerId]:
         """Layers both subnets activate (the causal-dependency set)."""

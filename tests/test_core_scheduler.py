@@ -122,3 +122,49 @@ def test_scheduler_counts_calls():
     scheduler.schedule([0, 1], _stage_layers(subnets, 0, 1), tracker)
     assert scheduler.calls == 1
     assert scheduler.scans >= 1
+
+
+# ----------------------------------------------------------------------
+# timing instrumentation
+# ----------------------------------------------------------------------
+def _call_n(scheduler, n):
+    subnets, tracker = _setup([(0,), (1,)])
+    for _ in range(n):
+        scheduler.schedule([0, 1], _stage_layers(subnets, 0, 1), tracker)
+    return scheduler
+
+
+def test_timing_sampled_times_one_call_per_interval():
+    scheduler = _call_n(CspScheduler(timing="sampled", timing_interval=4), 9)
+    # calls 1, 5 and 9 hit the sample slot (calls % 4 == 1)
+    assert scheduler.calls == 9
+    assert scheduler.timed_calls == 3
+    assert scheduler.stats()["timing"] == "sampled"
+
+
+def test_timing_full_times_every_call():
+    scheduler = _call_n(CspScheduler(timing="full"), 5)
+    assert scheduler.timed_calls == 5
+    assert scheduler.total_time_s > 0.0
+    assert scheduler.mean_call_time_s == pytest.approx(
+        scheduler.total_time_s / 5
+    )
+
+
+def test_timing_off_never_touches_the_clock():
+    scheduler = _call_n(CspScheduler(timing="off"), 5)
+    assert scheduler.timed_calls == 0
+    assert scheduler.total_time_s == 0.0
+    assert scheduler.mean_call_time_s == 0.0
+
+
+def test_timing_mode_validated():
+    with pytest.raises(ValueError):
+        CspScheduler(timing="sometimes")
+
+
+def test_stats_reports_timing_counters():
+    scheduler = _call_n(CspScheduler(timing="full"), 3)
+    stats = scheduler.stats()
+    assert stats["timed_calls"] == 3
+    assert stats["mean_call_us"] > 0.0

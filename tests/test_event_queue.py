@@ -1,0 +1,224 @@
+"""Event-queue backends: calendar/heap pop-order identity and O(1)
+accounting (len / cancel / clear / compaction).
+
+The queue's total order ``(time, priority, sequence)`` is unique, so any
+correct backing store must pop the identical event sequence — the
+property the differential fuzz below checks for the heap, the calendar
+and the auto-promoting policy on the same operation stream.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sim.clock as clock
+from repro.sim.clock import EventQueue
+
+
+def _drain(queue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        order.append((event.time, event.priority, event.label))
+
+
+# ----------------------------------------------------------------------
+# O(1) accounting
+# ----------------------------------------------------------------------
+def test_len_tracks_live_events_through_cancel_and_pop():
+    queue = EventQueue(backend="heap")
+    events = [queue.schedule(float(i), lambda: None) for i in range(10)]
+    assert len(queue) == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert len(queue) == 8
+    events[3].cancel()  # idempotent: no double decrement
+    assert len(queue) == 8
+    assert queue.pop().time == 0.0
+    assert len(queue) == 7
+    assert len(_drain(queue)) == 7
+    assert len(queue) == 0
+
+
+def test_cancel_after_pop_does_not_corrupt_counters():
+    queue = EventQueue(backend="heap")
+    event = queue.schedule(1.0, lambda: None)
+    queue.schedule(2.0, lambda: None)
+    assert queue.pop() is event
+    event.cancel()  # already fired: detached, must not decrement live
+    assert len(queue) == 1
+
+
+def test_clear_returns_live_count_and_detaches_handles():
+    queue = EventQueue(backend="heap")
+    events = [queue.schedule(float(i), lambda: None) for i in range(6)]
+    events[0].cancel()
+    assert queue.clear() == 5
+    assert len(queue) == 0
+    # epoch guard: cancelling a pre-clear handle afterwards is a no-op
+    queue.schedule(10.0, lambda: None)
+    events[1].cancel()
+    assert len(queue) == 1
+    assert queue.physical_size() == 1
+
+
+def test_mass_cancellation_compacts_physical_store():
+    queue = EventQueue(backend="heap")
+    events = [queue.schedule(float(i), lambda: None) for i in range(200)]
+    assert queue.physical_size() == 200
+    for event in events[:150]:
+        event.cancel()
+    # compaction fires once cancelled entries outnumber live ones, so
+    # the physical store must have shed at least the pre-trigger stale
+    # run without a single pop (it re-arms only past the 64-entry floor)
+    assert len(queue) == 50
+    assert queue.physical_size() <= 100
+    assert len(_drain(queue)) == 50
+
+
+def test_backend_name_is_validated():
+    with pytest.raises(ValueError):
+        EventQueue(backend="fibonacci")
+
+
+# ----------------------------------------------------------------------
+# pop_until semantics
+# ----------------------------------------------------------------------
+def test_pop_until_cuts_then_resumes():
+    queue = EventQueue(backend="heap")
+    for time in (1.0, 1.0, 2.0):
+        queue.schedule(time, lambda: None)
+    assert queue.pop_until(1.5).time == 1.0
+    assert queue.pop_until(1.5).time == 1.0
+    assert queue.pop_until(1.5) is None  # next event beyond the cut
+    assert queue.now == 1.0  # the cut does not advance the clock
+    assert queue.pop_until(None).time == 2.0
+    assert queue.pop_until(None) is None
+
+
+def test_same_time_insert_during_batch_drain_pops_in_order():
+    """A callback scheduling a higher-priority event at the *current*
+    time must preempt the rest of the buffered same-time run."""
+    queue = EventQueue(backend="heap")
+    order = []
+    queue.schedule(5.0, lambda: order.append("a"), priority=0)
+    queue.schedule(5.0, lambda: order.append("c"), priority=0)
+    queue.pop().callback()  # fires a; c is buffered in the batch
+    queue.schedule(5.0, lambda: order.append("b"), priority=-1)
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_cancelled_batch_head_is_skipped():
+    queue = EventQueue(backend="heap")
+    first = queue.schedule(1.0, lambda: None, priority=0)
+    second = queue.schedule(1.0, lambda: None, priority=1)
+    assert queue.peek_time() == 1.0  # both now buffered or peekable
+    first.cancel()
+    assert queue.pop() is second
+    assert len(queue) == 0
+
+
+# ----------------------------------------------------------------------
+# auto policy transitions
+# ----------------------------------------------------------------------
+def test_auto_promotes_to_calendar_and_demotes_back():
+    queue = EventQueue(backend="auto")
+    assert queue.backend == "heap"
+    for i in range(clock._CALENDAR_ENTER + 10):
+        queue.schedule(float(i), lambda: None)
+    assert queue.backend == "calendar"
+    while len(queue) >= clock._CALENDAR_EXIT:
+        queue.pop()
+    queue.pop()
+    assert queue.backend == "heap"
+    _drain(queue)
+    assert len(queue) == 0
+
+
+def test_far_future_outlier_still_pops_in_order():
+    """A sparse horizon (one event a billion ms out) must not break the
+    calendar's scan, whatever fallback it takes."""
+    queue = EventQueue(backend="calendar")
+    times = [float(i) for i in range(40)] + [1e9]
+    for time in times:
+        queue.schedule(time, lambda: None)
+    popped = [event.time for event in iter(queue.pop, None)]
+    assert popped == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# differential fuzz: all backends pop the identical sequence
+# ----------------------------------------------------------------------
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(0.0, 100.0, allow_nan=False),
+            st.integers(-2, 2),
+        ),
+        st.tuples(st.just("schedule_far"), st.floats(1e6, 1e9), st.integers(0, 0)),
+        st.tuples(st.just("pop"), st.none(), st.none()),
+        st.tuples(st.just("pop_until"), st.floats(0.0, 100.0), st.none()),
+        st.tuples(st.just("cancel"), st.integers(0, 40), st.none()),
+        st.tuples(st.just("peek"), st.none(), st.none()),
+    ),
+    min_size=5,
+    max_size=80,
+)
+
+
+def _replay(backend, ops):
+    queue = EventQueue(backend=backend)
+    handles = []
+    log = []
+    counter = 0
+    for op, arg, extra in ops:
+        if op in ("schedule", "schedule_far"):
+            time = max(queue.now + float(arg), queue.now)
+            handles.append(
+                queue.schedule(time, lambda: None, priority=extra or 0,
+                               label=f"e{counter}")
+            )
+            counter += 1
+        elif op == "pop":
+            event = queue.pop()
+            log.append(
+                None if event is None
+                else (event.time, event.priority, event.label)
+            )
+        elif op == "pop_until":
+            event = queue.pop_until(queue.now + float(arg))
+            log.append(
+                None if event is None
+                else (event.time, event.priority, event.label)
+            )
+        elif op == "cancel":
+            if handles:
+                handles[arg % len(handles)].cancel()
+        elif op == "peek":
+            log.append(("peek", queue.peek_time()))
+        log.append(("len", len(queue)))
+    log.append(("drain", _drain(queue)))
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_backends_are_pop_order_identical(ops):
+    heap = _replay("heap", ops)
+    calendar = _replay("calendar", ops)
+    auto = _replay("auto", ops)
+    assert heap == calendar
+    assert heap == auto
+
+
+def test_default_backend_module_switch(monkeypatch):
+    """`DEFAULT_BACKEND` is the documented seam tests force a store
+    through; a queue built with backend=None must honour it."""
+    monkeypatch.setattr(clock, "DEFAULT_BACKEND", "calendar")
+    assert EventQueue().backend == "calendar"
+    monkeypatch.setattr(clock, "DEFAULT_BACKEND", "heap")
+    assert EventQueue().backend == "heap"

@@ -88,7 +88,7 @@ def test_validate_event_rejects_bad_shapes():
         attrs=(("direction", "fwd"),),
     )
     assert validate_event(ok) == []
-    assert validate_event(ok.__class__(**{**ok.__dict__, "kind": "nope"}))
+    assert validate_event(ok._replace(kind="nope"))
     missing = TraceEvent(kind="task_done", time=1.0, stage=0, subnet_id=3)
     assert any("missing" in p for p in validate_event(missing))
     extra = TraceEvent(

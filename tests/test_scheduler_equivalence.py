@@ -23,6 +23,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines import naspipe
 from repro.core.dependency import DependencyTracker
+from repro.core.scheduler import CspScheduler
 from repro.engines.functional_plane import FunctionalPlane
 from repro.engines.pipeline import PipelineEngine
 from repro.profiling import profile_scheduler_stream
@@ -173,3 +174,58 @@ def test_pipeline_digest_identical_across_modes(seed, gpus):
     assert scan_events == index_events
     assert scan_result.digest == index_result.digest
     assert scan_result.trace.makespan == index_result.trace.makespan
+
+
+# ----------------------------------------------------------------------
+# 4. skip-set differential: scan and index agree under exclusions
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_subnets=st.integers(4, 24),
+    num_blocks=st.integers(2, 6),
+    skip_fraction=st.floats(0.0, 0.9),
+)
+def test_scan_and_index_agree_with_skip_sets(
+    seed, num_subnets, num_blocks, skip_fraction
+):
+    """The in-flight ``skip`` set prunes both the linear scan and the
+    index's first_ready walk; for any readiness state and any skip set
+    the two modes must return the same decision."""
+    rng = Random(seed)
+    subnets = {
+        i: Subnet(i, tuple(rng.randrange(3) for _ in range(num_blocks)))
+        for i in range(num_subnets)
+    }
+    layers_of = {
+        sid: subnet.layers_in_range(0, num_blocks)
+        for sid, subnet in subnets.items()
+    }
+    tracker = DependencyTracker()
+    for subnet in subnets.values():
+        tracker.register(subnet)
+    queue = sorted(subnets)
+    for sid in queue:
+        tracker.index_add(SCOPE, sid, layers_of[sid])
+    # randomly retire a prefix of blockers so readiness varies
+    for sid in list(subnets):
+        if rng.random() < 0.4:
+            tracker.mark_finished(sid)
+
+    scan = CspScheduler(mode="scan", timing="off")
+    index = CspScheduler(mode="index", timing="off")
+    stage_layers = lambda sid: layers_of[sid]
+    for _ in range(4):
+        skip = {sid for sid in queue if rng.random() < skip_fraction}
+        got_scan = scan.schedule(
+            queue, stage_layers, tracker, skip=skip, scope=SCOPE
+        )
+        got_index = index.schedule(
+            queue, stage_layers, tracker, skip=skip, scope=SCOPE
+        )
+        assert (got_scan.qidx, got_scan.qval) == (
+            got_index.qidx,
+            got_index.qval,
+        )
+        if got_scan.found:
+            assert got_scan.qval not in skip

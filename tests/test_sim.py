@@ -93,6 +93,20 @@ def test_engine_event_budget_guards_livelock():
     engine.schedule(0.0, loop)
     with pytest.raises(SimulationError):
         engine.run()
+    # the budget check runs BEFORE firing the over-budget event: exactly
+    # max_events callbacks executed, never max_events + 1
+    assert engine.events_processed == 10
+
+
+def test_engine_budget_not_charged_for_unfired_events():
+    engine = SimulationEngine(max_events=5)
+    fired = []
+    for i in range(8):
+        engine.schedule(float(i), lambda i=i: fired.append(i))
+    with pytest.raises(SimulationError):
+        engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert engine.events_processed == 5
 
 
 # ----------------------------------------------------------------------

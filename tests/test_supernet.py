@@ -98,8 +98,11 @@ def test_unknown_space_raises():
 # ----------------------------------------------------------------------
 def test_subnet_layers_and_ranges():
     subnet = Subnet(3, (1, 0, 2, 2))
-    assert subnet.layer_ids() == [(0, 1), (1, 0), (2, 2), (3, 2)]
-    assert subnet.layers_in_range(1, 3) == [(1, 0), (2, 2)]
+    assert tuple(subnet.layer_ids()) == ((0, 1), (1, 0), (2, 2), (3, 2))
+    assert tuple(subnet.layers_in_range(1, 3)) == ((1, 0), (2, 2))
+    # memoised views: repeat calls hand back the same interned tuples
+    assert subnet.layer_ids() is subnet.layer_ids()
+    assert subnet.layers_in_range(1, 3) is subnet.layers_in_range(1, 3)
 
 
 def test_subnet_dependency_detection():
