@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler bench-obs obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke clean
+.PHONY: install test bench bench-scheduler bench-obs obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke serve-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -48,6 +48,10 @@ faults-demo:
 chaos-smoke:
 	python -m repro chaos examples/chaos_demo.json --seeds 10 \
 		--json chaos_smoke.report.json
+
+serve-demo:
+	python -m repro serve examples/serve_demo.json \
+		--json serve_demo.report.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -556,6 +556,55 @@ def _chaos(args) -> str:
     return text
 
 
+def _serve(args) -> str:
+    """``naspipe serve <jobs.json>``: run a multi-tenant job mix on one
+    shared simulated fleet and report per-job outcomes.
+
+    The config declares the fleet and the jobs, e.g.
+    ``examples/serve_demo.json``::
+
+        {"total_gpus": 8, "quantum": 6, "verify_solo": true,
+         "jobs": [
+           {"name": "tenant-a", "space": "NLP.c3", "min_gpus": 2,
+            "max_gpus": 6, "subnets": 18, "priority": 2},
+           ...]}
+
+    Jobs share the fleet through :class:`repro.service.ClusterManager`
+    leases; CSP jobs grow/shrink/preempt at consistent segment cuts.
+    With ``"verify_solo": true`` (or ``--verify``) every job is re-run
+    alone and its digest compared bitwise — any mismatch exits non-zero.
+    ``--json PATH`` writes the canonical machine-readable report
+    (byte-identical across identical runs; the ``service-smoke`` CI
+    gate ``cmp``'s two of them).  See ``docs/OPERATIONS.md``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.service import (
+        format_service_report,
+        run_service,
+        service_report_json,
+    )
+
+    config_path = Path(args.config)
+    payload = json.loads(config_path.read_text())
+    report = run_service(
+        payload, verify_solo=True if args.verify else None
+    )
+    text = format_service_report(report)
+    if args.json:
+        out = Path(args.json)
+        out.write_text(service_report_json(report))
+        text += f"\n[service report written to {out}]"
+    if not report["ok"]:
+        print(text)
+        raise SystemExit(
+            "per-tenant determinism violated: at least one job's digest "
+            "diverged from its solo run"
+        )
+    return text
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -650,21 +699,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=_EXPERIMENTS
-        + ("trace", "analyze", "compare", "faults", "chaos", "all", "list"),
+        + (
+            "trace",
+            "analyze",
+            "compare",
+            "faults",
+            "chaos",
+            "serve",
+            "all",
+            "list",
+        ),
         help="which table/figure to regenerate ('trace' exports a "
         "Perfetto-compatible run trace; 'analyze' prints the "
         "critical-path breakdown and what-if projections; 'compare' "
         "diffs two registry records; 'faults' runs a fault-injection "
         "scenario with recovery; 'chaos' runs a seeded randomized "
-        "robustness sweep)",
+        "robustness sweep; 'serve' runs a multi-tenant job mix on a "
+        "shared fleet)",
     )
     parser.add_argument(
         "config",
         nargs="?",
-        help="trace/analyze/faults/chaos: JSON run config (see "
-        "examples/trace_demo.json, examples/faults_demo.json and "
-        "examples/chaos_demo.json); compare: run A (record file or "
-        "run_id prefix)",
+        help="trace/analyze/faults/chaos/serve: JSON run config (see "
+        "examples/trace_demo.json, examples/faults_demo.json, "
+        "examples/chaos_demo.json and examples/serve_demo.json); "
+        "compare: run A (record file or run_id prefix)",
     )
     parser.add_argument(
         "config2",
@@ -699,7 +758,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scheduler-cost: run the stream-scaling benchmark and write "
         "its payload (BENCH_scheduler.json) here; faults: write the "
         "machine-readable availability summary here; chaos: write the "
-        "machine-readable sweep report here",
+        "machine-readable sweep report here; serve: write the canonical "
+        "service report here (byte-deterministic)",
     )
     parser.add_argument(
         "--seeds",
@@ -763,6 +823,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default .naspipe/runs.jsonl)",
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="serve: re-run every job alone and require each digest to "
+        "match its shared-fleet run bitwise (overrides the config's "
+        "verify_solo)",
+    )
+    parser.add_argument(
         "--fail-on-regression",
         type=float,
         metavar="PCT",
@@ -775,7 +842,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         print(
             "\n".join(
-                _EXPERIMENTS + ("trace", "analyze", "compare", "faults", "chaos")
+                _EXPERIMENTS
+                + ("trace", "analyze", "compare", "faults", "chaos", "serve")
             )
         )
         return 0
@@ -808,6 +876,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.config:
             parser.error("chaos requires a JSON run config path")
         print(_chaos(args))
+        return 0
+
+    if args.experiment == "serve":
+        if not args.config:
+            parser.error("serve requires a JSON jobs config path")
+        print(_serve(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -29,7 +29,12 @@ from repro.core.context_manager import StageContextManager
 from repro.core.runtime import CspStageState
 from repro.engines.functional_plane import FunctionalPlane
 from repro.engines.policies import make_policy
-from repro.errors import DeadlockError, GpuOutOfMemoryError, PartitionError
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    GpuOutOfMemoryError,
+    PartitionError,
+)
 from repro.memory_model import max_feasible_batch, memory_breakdown
 from repro.nn.parameter_store import LayerId
 from repro.nn.program import PendingUpdate, StageActivation
@@ -205,7 +210,7 @@ class PipelineEngine:
         self.space = supernet.space
         self.stream = stream
         self.config = config
-        self.cluster = Cluster(cluster_spec or ClusterSpec())
+        self.cluster = self._resolve_cluster(cluster_spec)
         self.stages = self.cluster.num_stages
         if self.space.num_blocks < self.stages:
             raise PartitionError(
@@ -326,6 +331,33 @@ class PipelineEngine:
         self.degradation = as_manager(degradation)
         if self.degradation is not None:
             self.degradation.bind(self)
+
+    @staticmethod
+    def _resolve_cluster(source) -> Cluster:
+        """Accept the three ways an engine can be given devices.
+
+        A bare :class:`ClusterSpec` (or ``None``) keeps the historical
+        behaviour: the engine constructs — and solely owns — its
+        cluster.  A pre-built :class:`Cluster` is adopted as-is.  Any
+        lease-shaped object (``materialize()`` returning a cluster, see
+        :class:`repro.service.lease.DeviceLease`) defers device
+        ownership to the granting ``ClusterManager``: the engine runs on
+        the materialised view of its leased physical slots and never
+        touches devices it was not granted.
+        """
+        if source is None:
+            return Cluster(ClusterSpec())
+        if isinstance(source, Cluster):
+            return source
+        if isinstance(source, ClusterSpec):
+            return Cluster(source)
+        materialize = getattr(source, "materialize", None)
+        if callable(materialize):
+            return materialize()
+        raise ConfigError(
+            f"cannot build a cluster from {type(source).__name__}; expected "
+            "ClusterSpec, Cluster or a device lease"
+        )
 
     # ------------------------------------------------------------------
     # helpers used by policies

@@ -97,3 +97,15 @@ class ReproducibilityError(ReproError):
 class FaultToleranceError(ReproError):
     """Recovery could not make progress (restart budget exhausted, or a
     restart policy was asked to resume from state that does not exist)."""
+
+
+class ServiceError(ReproError):
+    """The multi-tenant service plane rejected a job or reached an
+    inconsistent scheduling state (e.g. a job whose minimum GPU demand
+    can never be satisfied by the fleet)."""
+
+
+class LeaseError(ServiceError):
+    """A device-lease operation violated exclusive ownership: acquiring
+    more slots than are free, releasing a lease twice, or using a lease
+    after release."""

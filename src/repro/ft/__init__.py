@@ -49,6 +49,9 @@ from repro.ft.injector import FaultInjector
 from repro.ft.recovery import (
     FaultedRunResult,
     RecoverySpec,
+    build_stream,
+    default_optimizer,
+    rewarm_prefetch,
     run_uninterrupted,
     run_with_recovery,
 )
@@ -67,6 +70,9 @@ __all__ = [
     "FaultedRunResult",
     "run_uninterrupted",
     "run_with_recovery",
+    "build_stream",
+    "default_optimizer",
+    "rewarm_prefetch",
     "availability_summary",
     "format_availability",
     "mtbf_sweep",

@@ -61,6 +61,9 @@ __all__ = [
     "FaultedRunResult",
     "run_with_recovery",
     "run_uninterrupted",
+    "build_stream",
+    "default_optimizer",
+    "rewarm_prefetch",
 ]
 
 
@@ -143,10 +146,34 @@ def _completions_in_order(result: PipelineResult) -> List[int]:
     ]
 
 
-def _default_optimizer() -> MomentumSGD:
-    # mirrors replay.py's recorded-run defaults so a faulted run and its
-    # uninterrupted baseline are directly digest-comparable
+def default_optimizer() -> MomentumSGD:
+    """The recorded-run optimizer defaults (mirrors replay.py), so a
+    faulted or service-scheduled run and its uninterrupted baseline are
+    directly digest-comparable."""
     return MomentumSGD(0.3, 0.9, 5.0)
+
+
+# historical private name, kept for callers inside this package
+_default_optimizer = default_optimizer
+
+
+def rewarm_prefetch(engine: PipelineEngine, first) -> int:
+    """Pre-warm each stage's context cache for the first resumed subnet.
+
+    Shared by crash-restart recovery and the service plane's elastic
+    resize: before a resumed engine dispatches its first task, every
+    stage prefetches its home slice of ``first``, charging the copies to
+    the recovery/resize window instead of a cold fetch stall on the
+    critical path.  Returns the number of layers prefetched.
+    """
+    rewarmed = 0
+    if engine.contexts is not None:
+        for stage in range(engine.stages):
+            start, stop = engine.home_partition[stage]
+            layers = first.layers_in_range(start, stop)
+            engine.prefetch_context(stage, layers)
+            rewarmed += len(layers)
+    return rewarmed
 
 
 def _degradation_policy(value) -> Optional[DegradationPolicy]:
@@ -161,13 +188,19 @@ def _degradation_policy(value) -> Optional[DegradationPolicy]:
     return as_manager(value).policy
 
 
-def _build_stream(
+def build_stream(
     space: SearchSpace, seed: int, steps: int, stream_kind: str
 ) -> SubnetStream:
+    """The seeded subnet stream one logical job trains — shared by
+    recovery attempts and the service plane so every incarnation of a
+    job resumes the *same* stream with original sequence IDs."""
     seeds = SeedSequenceTree(seed)
     if stream_kind == "generational":
         return SubnetStream.sample_generational(space, seeds, steps)
     return SubnetStream.sample(space, seeds, steps)
+
+
+_build_stream = build_stream
 
 
 def run_uninterrupted(
@@ -319,13 +352,8 @@ def run_with_recovery(
                 "recovery_begin", 0.0, cut=cursor, attempt=attempt, gpus=gpus
             )
             rewarmed = 0
-            if spec.rewarm and engine.contexts is not None and stream.remaining:
-                first = full_stream[cursor]
-                for stage in range(engine.stages):
-                    start, stop = engine.home_partition[stage]
-                    layers = first.layers_in_range(start, stop)
-                    engine.prefetch_context(stage, layers)
-                    rewarmed += len(layers)
+            if spec.rewarm and stream.remaining:
+                rewarmed = rewarm_prefetch(engine, full_stream[cursor])
             copy_warm = max(
                 (ce.next_free for ce in engine.cluster.copy_engines),
                 default=0.0,

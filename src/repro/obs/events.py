@@ -392,6 +392,64 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             EventField("active", _BOOL, "True = applied, False = lifted"),
             stage_scoped=False,
         ),
+        # -- service plane (repro.service) -----------------------------
+        _schema(
+            "job_submit",
+            "repro.service.scheduler",
+            "A job arrived in the service admission queue (its stream "
+            "and functional plane are built at this instant).",
+            EventField("job", _STR, "tenant job name"),
+            EventField("priority", _INT, "fair-share weight (>= 1)"),
+            EventField("subnets", _INT, "stream length requested"),
+            EventField("min_gpus", _INT, "smallest acceptable allocation"),
+            EventField("max_gpus", _INT, "allocation cap after clamping"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_start",
+            "repro.service.scheduler",
+            "A queued job was admitted (or re-admitted after preemption) "
+            "and leased GPUs; cut is the stream position it starts from.",
+            EventField("job", _STR, "tenant job name"),
+            EventField("gpus", _INT, "GPUs granted"),
+            EventField("slots", _STR, "comma-joined physical slot ids"),
+            EventField("cut", _INT, "stream cursor at admission"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_resize",
+            "repro.service.scheduler",
+            "An elastic (CSP) job changed allocation at a segment "
+            "boundary — a consistent cut, so its bits are unchanged.",
+            EventField("job", _STR, "tenant job name"),
+            EventField("gpus_from", _INT, "allocation before the cut"),
+            EventField("gpus_to", _INT, "allocation after the cut"),
+            EventField("cut", _INT, "stream cursor at the boundary"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_preempt",
+            "repro.service.scheduler",
+            "A running job was squeezed to zero GPUs at a segment "
+            "boundary by higher-priority tenants and re-queued; it "
+            "resumes later from the cut.",
+            EventField("job", _STR, "tenant job name"),
+            EventField("gpus", _INT, "allocation it gave up"),
+            EventField("cut", _INT, "stream cursor it will resume from"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_done",
+            "repro.service.scheduler",
+            "The job's last segment drained; its loss digest is final "
+            "(and, under CSP, bitwise equal to a solo run).",
+            EventField("job", _STR, "tenant job name"),
+            EventField("subnets", _INT, "subnets trained"),
+            EventField("wait_ms", _NUMBER, "submit-to-first-start wait"),
+            EventField("span_ms", _NUMBER, "submit-to-finish span"),
+            EventField("segments", _INT, "engine incarnations used"),
+            stage_scoped=False,
+        ),
         _schema(
             "rebalance",
             "repro.ft.degradation",

@@ -296,6 +296,25 @@ def to_perfetto(
                     "args": attrs,
                 }
             )
+        elif event.kind in (
+            "job_submit",
+            "job_start",
+            "job_resize",
+            "job_preempt",
+            "job_done",
+        ):
+            events.append(
+                {
+                    "name": f"{event.kind} {attrs['job']}",
+                    "cat": "service",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
         elif event.kind == "health_report":
             events.append(
                 {

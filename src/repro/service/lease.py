@@ -1,0 +1,76 @@
+"""Device leases: the handle a pipeline engine runs on in a shared fleet.
+
+A :class:`DeviceLease` names the set of physical GPU slots a
+:class:`~repro.service.manager.ClusterManager` granted to one job.  The
+engine never sees the fleet — it calls :meth:`DeviceLease.materialize`
+and receives a fresh :class:`~repro.sim.cluster.Cluster` view in which
+stage ``i`` runs on physical slot ``slots[i]``.  Two properties follow:
+
+* **Exclusive ownership.**  The manager guarantees slot sets of live
+  leases are disjoint, so two engines can never contend for (or observe)
+  each other's devices — the isolation behind per-tenant determinism.
+* **No state leakage.**  Devices are occupancy models with per-run
+  mutable state (``busy_until``, ``next_free``, memory ledgers).  Each
+  ``materialize()`` builds them fresh via
+  :func:`repro.sim.cluster.build_devices`; only the *slot identity* is
+  shared between successive tenants of the same hardware.
+
+The lease-local :class:`~repro.sim.cluster.ClusterSpec` carries the
+fleet's per-slot speed factors re-indexed to lease positions, so a job
+scheduled onto heterogeneous slots sees exactly the hardware it leased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.errors import LeaseError
+from repro.sim.cluster import Cluster, ClusterSpec, build_devices
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.manager import ClusterManager
+
+__all__ = ["DeviceLease"]
+
+
+@dataclass(frozen=True)
+class DeviceLease:
+    """Exclusive grant of a physical GPU slot set to one job."""
+
+    lease_id: int
+    job: str
+    #: physical fleet slots, ascending; stage ``i`` maps to ``slots[i]``
+    slots: Tuple[int, ...]
+    #: lease-local cluster parameters (``num_gpus == len(slots)``)
+    spec: ClusterSpec
+    manager: "ClusterManager"
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.slots)
+
+    @property
+    def active(self) -> bool:
+        """Whether the manager still considers this lease live."""
+        return self.manager.is_active(self)
+
+    def materialize(self) -> Cluster:
+        """A fresh :class:`Cluster` over the leased slots.
+
+        The engine adopts it as its device plane (see
+        ``PipelineEngine._resolve_cluster``).  Raises :class:`LeaseError`
+        when the lease has been released — running on returned hardware
+        would break another tenant's exclusivity.
+        """
+        if not self.active:
+            raise LeaseError(
+                f"lease {self.lease_id} ({self.job}) was already released; "
+                "cannot materialize devices from it"
+            )
+        return Cluster(self.spec, devices=build_devices(self.spec, self.slots))
+
+    def release(self) -> None:
+        """Return the slots to the fleet (idempotence is an error: a
+        double release means two owners believed they held the slots)."""
+        self.manager.release(self)

@@ -1,0 +1,138 @@
+"""The shared-fleet device owner: leases GPU slot sets to engines.
+
+Before the service plane, every :class:`~repro.engines.pipeline.
+PipelineEngine` constructed its own ``Cluster`` — device ownership was a
+side effect of running, and two engines could not share a machine.  The
+:class:`ClusterManager` extracts that ownership: it holds the fleet's
+physical GPU slots (described once by a fleet-wide
+:class:`~repro.sim.cluster.ClusterSpec`) and grants disjoint subsets to
+jobs as :class:`~repro.service.lease.DeviceLease` handles.  Engines are
+then constructed *from a lease* and run on exactly the slots they were
+granted.
+
+Invariants the manager enforces (violations raise :class:`LeaseError`):
+
+* a slot belongs to at most one live lease (never double-leased);
+* a lease is released exactly once, by the lease that holds the slots;
+* allocation is deterministic — the lowest-numbered free slots win, so
+  identical request sequences produce identical grants bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.errors import LeaseError
+from repro.service.lease import DeviceLease
+from repro.sim.cluster import ClusterSpec
+
+__all__ = ["ClusterManager"]
+
+
+class ClusterManager:
+    """Owns the fleet's GPU slots; grants and reclaims leases."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        #: fleet-wide template: ``num_gpus`` is the fleet size, and
+        #: ``gpu_speed_factors`` (when set) describes per-slot hardware
+        self.spec = spec
+        self._free: List[int] = list(range(spec.num_gpus))  # kept sorted
+        self._live: Dict[int, DeviceLease] = {}
+        self._owner: Dict[int, int] = {}  # slot -> lease_id
+        self._next_lease_id = 0
+        self.total_leases_granted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_gpus(self) -> int:
+        return self.spec.num_gpus
+
+    @property
+    def available_gpus(self) -> int:
+        return len(self._free)
+
+    @property
+    def leased_gpus(self) -> int:
+        return self.total_gpus - self.available_gpus
+
+    def free_slots(self) -> Tuple[int, ...]:
+        return tuple(self._free)
+
+    def live_leases(self) -> Tuple[DeviceLease, ...]:
+        """Live leases in grant order."""
+        return tuple(self._live[k] for k in sorted(self._live))
+
+    def is_active(self, lease: DeviceLease) -> bool:
+        return self._live.get(lease.lease_id) is lease
+
+    def owner_of(self, slot: int) -> int:
+        """Lease id holding ``slot``, or ``-1`` when free."""
+        return self._owner.get(slot, -1)
+
+    # ------------------------------------------------------------------
+    def _lease_spec(self, slots: Tuple[int, ...]) -> ClusterSpec:
+        """The lease-local cluster parameters: fleet template resized to
+        the grant, with per-slot speed factors re-indexed to lease
+        positions (stage ``i`` inherits slot ``slots[i]``'s speed)."""
+        speeds = None
+        if self.spec.gpu_speed_factors is not None:
+            speeds = tuple(self.spec.gpu_speed_factors[s] for s in slots)
+        return replace(
+            self.spec, num_gpus=len(slots), gpu_speed_factors=speeds
+        )
+
+    def acquire(self, job: str, count: int) -> DeviceLease:
+        """Grant ``count`` slots to ``job`` (lowest free slots first).
+
+        Deterministic and exclusive: the same free-pool state and request
+        always yields the same slot set, and a granted slot leaves the
+        pool until its lease is released.
+        """
+        if count < 1:
+            raise LeaseError(f"{job}: a lease needs at least 1 GPU, got {count}")
+        if count > len(self._free):
+            raise LeaseError(
+                f"{job}: requested {count} GPUs with only "
+                f"{len(self._free)} free of {self.total_gpus}"
+            )
+        slots = tuple(self._free[:count])
+        del self._free[:count]
+        lease = DeviceLease(
+            lease_id=self._next_lease_id,
+            job=job,
+            slots=slots,
+            spec=self._lease_spec(slots),
+            manager=self,
+        )
+        self._next_lease_id += 1
+        self.total_leases_granted += 1
+        self._live[lease.lease_id] = lease
+        for slot in slots:
+            if slot in self._owner:  # pragma: no cover - defence in depth
+                raise LeaseError(
+                    f"slot {slot} already owned by lease "
+                    f"{self._owner[slot]} while granting to {job}"
+                )
+            self._owner[slot] = lease.lease_id
+        return lease
+
+    def release(self, lease: DeviceLease) -> None:
+        """Reclaim a lease's slots.  Double releases and foreign leases
+        are ownership violations, not no-ops."""
+        live = self._live.get(lease.lease_id)
+        if live is None or live is not lease:
+            raise LeaseError(
+                f"lease {lease.lease_id} ({lease.job}) is not live; "
+                "double release or foreign lease"
+            )
+        del self._live[lease.lease_id]
+        for slot in lease.slots:
+            if self._owner.get(slot) != lease.lease_id:
+                raise LeaseError(  # pragma: no cover - defence in depth
+                    f"slot {slot} not owned by lease {lease.lease_id} "
+                    "at release"
+                )
+            del self._owner[slot]
+        self._free.extend(lease.slots)
+        self._free.sort()

@@ -1,0 +1,715 @@
+"""Job-level scheduling above the pipeline engine (``repro.service``).
+
+One :class:`JobScheduler` drives N concurrent supernet-training jobs
+over a shared fleet owned by a :class:`~repro.service.manager.
+ClusterManager`.  Jobs arrive on a **service virtual clock** (the same
+discrete-event machinery the engine uses, one level up), wait in an
+admission queue, and run as a sequence of *segments*:
+
+* a segment trains ``quantum`` consecutive subnets of the job's stream
+  on a leased GPU set — a fresh :class:`~repro.engines.pipeline.
+  PipelineEngine` per segment over the job's **persistent** functional
+  plane, with the stream slice resumed at its original sequence IDs
+  (exactly the elastic-rescale construction of
+  :mod:`repro.ft.recovery`);
+* a segment boundary is a **consistent cut**: the engine has drained, so
+  the plane holds precisely the sequential prefix state after the
+  segment's last subnet.  All scheduling decisions — grow, shrink,
+  preemption — take effect only at these cuts, because they are the only
+  points where a job can change shape without changing its bits.
+
+Allocation is fair-share weighted by priority: every runnable job first
+reserves ``min_gpus`` in precedence order (higher priority first, FIFO
+within a priority), then the remaining GPUs are apportioned in
+proportion to priority, capped at each job's ``max_gpus``, with
+deterministic largest-remainder rounding.  Jobs that cannot fit wait in
+the admission queue; a running job squeezed to zero at a boundary is
+preempted back into the queue and resumes later from its cut.
+
+**Per-tenant determinism.**  Under CSP a job's final weights are a pure
+function of its subnet stream (Definition 1), and segment boundaries are
+consistent cuts — so a job's loss digest is bitwise identical to its
+solo run *regardless of co-tenants, allocation history, or mid-run
+resizes*.  Jobs under other sync modes (ASP/BSP/SSP) have no consistent
+cuts mid-stream; the scheduler therefore runs them **rigid**: one
+segment, fixed allocation, no elasticity — their digest then matches a
+solo run at the same GPU count, but they cannot be preempted or
+resized.  ``verify_solo`` re-runs every job alone and checks both
+claims.
+
+Everything is deterministic: identical service configs produce
+byte-identical reports (the CI ``service-smoke`` gate ``cmp``'s two
+runs), and the service timeline is itself a schema-validated
+:class:`~repro.sim.trace.ExecutionTrace` carrying the five ``job_*``
+event kinds documented in ``docs/TRACING.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines import system_by_name
+from repro.config import SystemConfig
+from repro.engines.functional_plane import FunctionalPlane
+from repro.engines.pipeline import PipelineEngine
+from repro.errors import ServiceError
+from repro.ft.recovery import (
+    build_stream,
+    default_optimizer,
+    rewarm_prefetch,
+    run_uninterrupted,
+)
+from repro.service.manager import ClusterManager
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace
+from repro.supernet.sampler import SubnetStream
+from repro.supernet.search_space import SearchSpace, get_search_space
+from repro.supernet.subnet import Subnet
+from repro.supernet.supernet import Supernet
+
+__all__ = [
+    "JobSpec",
+    "JobScheduler",
+    "fair_share",
+    "run_service",
+    "format_service_report",
+    "service_report_json",
+]
+
+_JOB_KEYS = frozenset(
+    {
+        "name",
+        "space",
+        "space_overrides",
+        "system",
+        "overrides",
+        "subnets",
+        "seed",
+        "priority",
+        "submit_ms",
+        "min_gpus",
+        "max_gpus",
+        "batch",
+        "functional_batch",
+        "stream_kind",
+    }
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's training request."""
+
+    name: str
+    space: str
+    system: str = "NASPipe"
+    subnets: int = 16
+    seed: int = 2022
+    #: fair-share weight and admission precedence (>= 1)
+    priority: int = 1
+    #: service virtual time of arrival
+    submit_ms: float = 0.0
+    #: smallest allocation the job will accept
+    min_gpus: int = 1
+    #: largest allocation the job can use
+    max_gpus: int = 8
+    batch: Optional[int] = None
+    functional_batch: int = 8
+    stream_kind: str = "spos"
+    space_overrides: Optional[Mapping] = None
+    #: system-config overrides forwarded to :func:`system_by_name`
+    overrides: Optional[Mapping] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("a job needs a non-empty name")
+        if self.subnets < 1:
+            raise ServiceError(f"{self.name}: subnets must be >= 1")
+        if self.priority < 1:
+            raise ServiceError(f"{self.name}: priority must be >= 1")
+        if self.min_gpus < 1 or self.max_gpus < self.min_gpus:
+            raise ServiceError(
+                f"{self.name}: need 1 <= min_gpus <= max_gpus, got "
+                f"[{self.min_gpus}, {self.max_gpus}]"
+            )
+        if self.submit_ms < 0:
+            raise ServiceError(f"{self.name}: submit_ms must be >= 0")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "JobSpec":
+        """Build from a ``serve`` config entry; unknown keys are loud
+        errors (silent typos would silently change a tenant's run)."""
+        unknown = sorted(set(payload) - _JOB_KEYS)
+        if unknown:
+            raise ServiceError(f"unknown job config keys: {unknown}")
+        return cls(**payload)
+
+
+@dataclass
+class _Segment:
+    """One engine incarnation of a job."""
+
+    start_ms: float
+    end_ms: float
+    gpus: int
+    slots: Tuple[int, ...]
+    cursor_from: int
+    cursor_to: int
+    makespan_ms: float
+    resize_overhead_ms: float = 0.0
+
+
+@dataclass
+class _JobState:
+    """Scheduler-internal mutable state of one job."""
+
+    spec: JobSpec
+    index: int  # arrival order (submission call order)
+    config: SystemConfig = None  # type: ignore[assignment]
+    space: SearchSpace = None  # type: ignore[assignment]
+    supernet: Supernet = None  # type: ignore[assignment]
+    plane: FunctionalPlane = None  # type: ignore[assignment]
+    subnets: List[Subnet] = field(default_factory=list)
+    #: pending (pre-arrival) | queued | boundary | running | done
+    status: str = "pending"
+    cursor: int = 0
+    #: allocation cap after fleet/space clamping
+    gpus_cap: int = 0
+    last_gpus: int = 0
+    ever_ran: bool = False
+    started_ms: Optional[float] = None
+    finished_ms: Optional[float] = None
+    gpu_ms: float = 0.0
+    overhead_ms: float = 0.0
+    preemptions: int = 0
+    resizes: int = 0
+    losses: Dict[int, float] = field(default_factory=dict)
+    digest: Optional[str] = None
+    segments: List[_Segment] = field(default_factory=list)
+
+    @property
+    def preemptible(self) -> bool:
+        """Only CSP jobs have consistent cuts mid-stream; everything
+        else runs rigid (one segment, fixed size)."""
+        return self.config.sync == "csp"
+
+    @property
+    def remaining(self) -> int:
+        return len(self.subnets) - self.cursor
+
+
+def fair_share(
+    total: int, demands: Sequence[Tuple[str, int, int, int]]
+) -> Dict[str, int]:
+    """Priority-weighted fair-share apportionment of ``total`` GPUs.
+
+    ``demands`` is ``(name, priority, min_gpus, max_gpus)`` in precedence
+    order (higher priority first, then arrival).  Admission first
+    reserves each job's minimum in precedence order — a job whose
+    minimum no longer fits gets 0 (waits).  The leftover is then split
+    proportionally to priority among admitted jobs, capped at their
+    maxima, with deterministic largest-remainder rounding (capped floors
+    first, then single GPUs in precedence order).
+    """
+    alloc: Dict[str, int] = {}
+    admitted: List[Tuple[str, int, int, int]] = []
+    left = total
+    for name, priority, min_gpus, max_gpus in demands:
+        if min_gpus <= left:
+            alloc[name] = min_gpus
+            left -= min_gpus
+            admitted.append((name, priority, min_gpus, max_gpus))
+        else:
+            alloc[name] = 0
+    while left > 0:
+        open_ = [d for d in admitted if alloc[d[0]] < d[3]]
+        if not open_:
+            break
+        weight = sum(d[1] for d in open_)
+        gave = 0
+        for name, priority, _min, max_gpus in open_:
+            extra = min((left * priority) // weight, max_gpus - alloc[name])
+            alloc[name] += extra
+            gave += extra
+        if gave == 0:
+            # floors all rounded to zero: hand out single GPUs in
+            # precedence order until the remainder is gone
+            for name, _priority, _min, max_gpus in open_:
+                if gave == left:
+                    break
+                if alloc[name] < max_gpus:
+                    alloc[name] += 1
+                    gave += 1
+        if gave == 0:  # pragma: no cover - guarded by open_ check
+            break
+        left -= gave
+    return alloc
+
+
+class JobScheduler:
+    """Admission queue + fair-share allocator + elastic segment driver."""
+
+    def __init__(
+        self,
+        manager: ClusterManager,
+        *,
+        quantum: int = 8,
+        resize_cost_ms: float = 50.0,
+        rewarm: bool = True,
+    ) -> None:
+        if quantum < 1:
+            raise ServiceError(f"quantum must be >= 1, got {quantum}")
+        self.manager = manager
+        self.quantum = quantum
+        #: virtual downtime charged when a job changes shape at a cut
+        #: (checkpoint hand-off + engine respawn, as in RecoverySpec)
+        self.resize_cost_ms = resize_cost_ms
+        self.rewarm = rewarm
+        self.trace = ExecutionTrace(num_gpus=manager.total_gpus)
+        self.sim = SimulationEngine(trace=self.trace)
+        self._jobs: Dict[str, _JobState] = {}
+        self._plan_pending = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> None:
+        """Register a job; it arrives on the service clock at
+        ``spec.submit_ms``."""
+        if self._ran:
+            raise ServiceError("scheduler already ran; build a fresh one")
+        if spec.name in self._jobs:
+            raise ServiceError(f"duplicate job name {spec.name!r}")
+        state = _JobState(spec=spec, index=len(self._jobs))
+        space = get_search_space(spec.space)
+        if spec.space_overrides:
+            space = space.scaled(**dict(spec.space_overrides))
+        state.space = space
+        state.config = system_by_name(spec.system, **dict(spec.overrides or {}))
+        state.gpus_cap = min(
+            spec.max_gpus, self.manager.total_gpus, space.num_blocks
+        )
+        if spec.min_gpus > state.gpus_cap:
+            raise ServiceError(
+                f"{spec.name}: min_gpus={spec.min_gpus} can never be "
+                f"satisfied (fleet {self.manager.total_gpus}, "
+                f"{space.num_blocks} choice blocks, max_gpus {spec.max_gpus})"
+            )
+        self._jobs[spec.name] = state
+        self.sim.schedule(
+            spec.submit_ms,
+            lambda: self._on_submit(spec.name),
+            label=f"submit {spec.name}",
+        )
+
+    def _on_submit(self, name: str) -> None:
+        state = self._jobs[name]
+        state.status = "queued"
+        # lazy build at arrival: the plane/stream exist only once the
+        # job is actually in the system
+        state.supernet = Supernet(state.space)
+        state.plane = FunctionalPlane(
+            state.supernet,
+            _seed_tree(state.spec.seed),
+            functional_batch=state.spec.functional_batch,
+            optimizer=default_optimizer(),
+        )
+        state.subnets = list(
+            build_stream(
+                state.space,
+                state.spec.seed,
+                state.spec.subnets,
+                state.spec.stream_kind,
+            )
+        )
+        spec = state.spec
+        self.trace.record_event(
+            "job_submit",
+            self.sim.now,
+            job=spec.name,
+            priority=spec.priority,
+            subnets=spec.subnets,
+            min_gpus=spec.min_gpus,
+            max_gpus=state.gpus_cap,
+        )
+        self._request_plan()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _request_plan(self) -> None:
+        """Coalesce same-instant wake-ups into one allocation pass: the
+        plan event runs at low priority, after every submission and
+        segment completion due at this timestamp has been processed."""
+        if not self._plan_pending:
+            self._plan_pending = True
+            self.sim.schedule(self.sim.now, self._plan, priority=10, label="plan")
+
+    def _candidates(self) -> List[_JobState]:
+        """Runnable jobs in precedence order (-priority, arrival)."""
+        runnable = [
+            state
+            for state in self._jobs.values()
+            if state.status in ("queued", "boundary")
+        ]
+        return sorted(runnable, key=lambda s: (-s.spec.priority, s.index))
+
+    def _plan(self) -> None:
+        self._plan_pending = False
+        candidates = self._candidates()
+        if not candidates:
+            return
+        alloc = fair_share(
+            self.manager.available_gpus,
+            [
+                (s.spec.name, s.spec.priority, s.spec.min_gpus, s.gpus_cap)
+                for s in candidates
+            ],
+        )
+        for state in candidates:
+            granted = alloc[state.spec.name]
+            if granted == 0:
+                if state.status == "boundary":
+                    # squeezed out by higher-priority tenants: back to
+                    # the admission queue, to resume from the cut
+                    state.status = "queued"
+                    state.preemptions += 1
+                    self.trace.record_event(
+                        "job_preempt",
+                        self.sim.now,
+                        job=state.spec.name,
+                        gpus=state.last_gpus,
+                        cut=state.cursor,
+                    )
+                continue
+            self._start_segment(state, granted)
+
+    # ------------------------------------------------------------------
+    # segments
+    # ------------------------------------------------------------------
+    def _start_segment(self, state: _JobState, granted: int) -> None:
+        now = self.sim.now
+        spec = state.spec
+        lease = self.manager.acquire(spec.name, granted)
+        delay = 0.0
+        if state.status == "queued":
+            if state.ever_ran:
+                # resuming after preemption pays the same respawn cost
+                # as a resize (fresh engine over returned hardware)
+                delay = self.resize_cost_ms
+            self.trace.record_event(
+                "job_start",
+                now,
+                job=spec.name,
+                gpus=granted,
+                slots=",".join(str(s) for s in lease.slots),
+                cut=state.cursor,
+            )
+            if state.started_ms is None:
+                state.started_ms = now
+        elif granted != state.last_gpus:
+            delay = self.resize_cost_ms
+            state.resizes += 1
+            self.trace.record_event(
+                "job_resize",
+                now,
+                job=spec.name,
+                gpus_from=state.last_gpus,
+                gpus_to=granted,
+                cut=state.cursor,
+            )
+        end_cursor = (
+            min(state.cursor + self.quantum, len(state.subnets))
+            if state.preemptible
+            else len(state.subnets)
+        )
+        stream = SubnetStream(
+            state.subnets[state.cursor : end_cursor], start=state.cursor
+        )
+        engine = PipelineEngine(
+            state.supernet,
+            stream,
+            state.config,
+            lease,
+            batch=spec.batch,
+            functional=state.plane,
+        )
+        if delay > 0.0 and self.rewarm:
+            rewarm_prefetch(engine, state.subnets[state.cursor])
+        result = engine.run()
+        state.losses.update(result.losses)
+        start_ms = now + delay
+        end_ms = start_ms + result.makespan_ms
+        state.segments.append(
+            _Segment(
+                start_ms=start_ms,
+                end_ms=end_ms,
+                gpus=granted,
+                slots=lease.slots,
+                cursor_from=state.cursor,
+                cursor_to=end_cursor,
+                makespan_ms=result.makespan_ms,
+                resize_overhead_ms=delay,
+            )
+        )
+        state.gpu_ms += granted * result.makespan_ms
+        state.overhead_ms += delay
+        state.status = "running"
+        state.ever_ran = True
+        state.last_gpus = granted
+        self.sim.schedule(
+            end_ms,
+            lambda: self._on_segment_done(state.spec.name, end_cursor, lease),
+            label=f"segment {spec.name}@{end_cursor}",
+        )
+
+    def _on_segment_done(self, name: str, end_cursor: int, lease) -> None:
+        state = self._jobs[name]
+        lease.release()
+        state.cursor = end_cursor
+        now = self.sim.now
+        if state.remaining == 0:
+            state.status = "done"
+            state.finished_ms = now
+            state.digest = state.plane.digest()
+            spec = state.spec
+            self.trace.record_event(
+                "job_done",
+                now,
+                job=spec.name,
+                subnets=spec.subnets,
+                wait_ms=(state.started_ms or now) - spec.submit_ms,
+                span_ms=now - spec.submit_ms,
+                segments=len(state.segments),
+            )
+        else:
+            state.status = "boundary"
+        self._request_plan()
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run(self) -> Dict:
+        """Run every submitted job to completion; returns the report."""
+        if not self._jobs:
+            raise ServiceError("no jobs submitted")
+        self._ran = True
+        self.sim.run()
+        unfinished = sorted(
+            name for name, s in self._jobs.items() if s.status != "done"
+        )
+        if unfinished:
+            raise ServiceError(
+                f"service quiesced with unfinished jobs: {unfinished}"
+            )
+        return self.report()
+
+    def report(self) -> Dict:
+        """Deterministic machine-readable outcome of the whole service
+        run (canonical content; serialise with
+        :func:`service_report_json`)."""
+        makespan = max(s.finished_ms for s in self._jobs.values())
+        jobs = []
+        for state in sorted(self._jobs.values(), key=lambda s: s.index):
+            spec = state.spec
+            jobs.append(
+                {
+                    "name": spec.name,
+                    "space": state.space.name,
+                    "system": spec.system,
+                    "sync": state.config.sync,
+                    "priority": spec.priority,
+                    "subnets": spec.subnets,
+                    "elastic": state.preemptible,
+                    "submitted_ms": spec.submit_ms,
+                    "started_ms": state.started_ms,
+                    "finished_ms": state.finished_ms,
+                    "wait_ms": state.started_ms - spec.submit_ms,
+                    "span_ms": state.finished_ms - spec.submit_ms,
+                    "gpu_ms": state.gpu_ms,
+                    "overhead_ms": state.overhead_ms,
+                    "segments": [
+                        {
+                            "start_ms": seg.start_ms,
+                            "end_ms": seg.end_ms,
+                            "gpus": seg.gpus,
+                            "slots": list(seg.slots),
+                            "from": seg.cursor_from,
+                            "to": seg.cursor_to,
+                            "makespan_ms": seg.makespan_ms,
+                        }
+                        for seg in state.segments
+                    ],
+                    "resizes": state.resizes,
+                    "preemptions": state.preemptions,
+                    "digest": state.digest,
+                    "losses": {
+                        str(sid): state.losses[sid]
+                        for sid in sorted(state.losses)
+                    },
+                }
+            )
+        busy = sum(s.gpu_ms for s in self._jobs.values())
+        return {
+            "schema": 1,
+            "total_gpus": self.manager.total_gpus,
+            "quantum": self.quantum,
+            "resize_cost_ms": self.resize_cost_ms,
+            "makespan_ms": makespan,
+            "gpu_utilization": (
+                busy / (self.manager.total_gpus * makespan) if makespan else 0.0
+            ),
+            "leases_granted": self.manager.total_leases_granted,
+            "events": len(self.trace.events),
+            "jobs": jobs,
+        }
+
+
+def _seed_tree(seed: int):
+    from repro.seeding import SeedSequenceTree
+
+    return SeedSequenceTree(seed)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+_SERVICE_KEYS = frozenset(
+    {
+        "total_gpus",
+        "gpu_speed_factors",
+        "quantum",
+        "resize_cost_ms",
+        "verify_solo",
+        "jobs",
+    }
+)
+
+
+def run_service(payload: Mapping, verify_solo: Optional[bool] = None) -> Dict:
+    """Run one ``serve`` config (see ``examples/serve_demo.json``).
+
+    ``verify_solo`` (or ``"verify_solo": true`` in the payload) re-runs
+    every job *alone* — elastic (CSP) jobs at their capped maximum GPU
+    count, rigid jobs at the exact allocation the service gave them —
+    and records whether digest and per-subnet losses match bitwise.  The
+    report's ``"ok"`` is False on any mismatch, which is the acceptance
+    criterion the ``service-smoke`` CI job gates on.
+    """
+    unknown = sorted(set(payload) - _SERVICE_KEYS)
+    if unknown:
+        raise ServiceError(f"unknown service config keys: {unknown}")
+    if not payload.get("jobs"):
+        raise ServiceError('service config needs a non-empty "jobs" list')
+    speeds = payload.get("gpu_speed_factors")
+    manager = ClusterManager(
+        ClusterSpec(
+            num_gpus=int(payload.get("total_gpus", 8)),
+            gpu_speed_factors=tuple(speeds) if speeds else None,
+        )
+    )
+    scheduler = JobScheduler(
+        manager,
+        quantum=int(payload.get("quantum", 8)),
+        resize_cost_ms=float(payload.get("resize_cost_ms", 50.0)),
+    )
+    for entry in payload["jobs"]:
+        scheduler.submit(JobSpec.from_payload(entry))
+    report = scheduler.run()
+    if verify_solo is None:
+        verify_solo = bool(payload.get("verify_solo", False))
+    report["verified"] = bool(verify_solo)
+    if verify_solo:
+        ok = True
+        for entry, job in zip(payload["jobs"], report["jobs"]):
+            spec = JobSpec.from_payload(entry)
+            space = get_search_space(spec.space)
+            if spec.space_overrides:
+                space = space.scaled(**dict(spec.space_overrides))
+            solo_gpus = (
+                job["segments"][0]["gpus"]
+                if not job["elastic"]
+                else min(spec.max_gpus, manager.total_gpus, space.num_blocks)
+            )
+            solo = run_uninterrupted(
+                space,
+                system_by_name(spec.system, **dict(spec.overrides or {})),
+                num_gpus=solo_gpus,
+                steps=spec.subnets,
+                seed=spec.seed,
+                batch=spec.batch,
+                functional_batch=spec.functional_batch,
+                stream_kind=spec.stream_kind,
+            )
+            job["solo_gpus"] = solo_gpus
+            job["solo_digest"] = solo.digest
+            job["digest_matches_solo"] = solo.digest == job["digest"]
+            job["losses_match_solo"] = {
+                str(sid): loss for sid, loss in sorted(solo.losses.items())
+            } == job["losses"]
+            ok = ok and job["digest_matches_solo"] and job["losses_match_solo"]
+        report["ok"] = ok
+    else:
+        report["ok"] = True
+    return report
+
+
+def service_report_json(report: Mapping) -> str:
+    """Canonical byte-deterministic serialisation of a service report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def format_service_report(report: Mapping) -> str:
+    """Human-readable service summary: per-job table plus timeline."""
+    lines = [
+        f"service: {report['total_gpus']} GPUs, quantum "
+        f"{report['quantum']} subnets, {len(report['jobs'])} job(s), "
+        f"makespan {report['makespan_ms']:.1f} ms, "
+        f"fleet utilization {report['gpu_utilization']:.1%}",
+        "",
+        f"{'job':<12s} {'prio':>4s} {'subnets':>7s} {'segs':>4s} "
+        f"{'resizes':>7s} {'preempt':>7s} {'wait ms':>9s} {'span ms':>10s} "
+        f"{'digest':<18s} {'solo':<5s}",
+    ]
+    for job in report["jobs"]:
+        digest = (job["digest"] or "")[:16] + "…" if job["digest"] else "N/A"
+        solo = "-"
+        if report.get("verified"):
+            solo = (
+                "OK"
+                if job["digest_matches_solo"] and job["losses_match_solo"]
+                else "FAIL"
+            )
+        lines.append(
+            f"{job['name']:<12s} {job['priority']:>4d} {job['subnets']:>7d} "
+            f"{len(job['segments']):>4d} {job['resizes']:>7d} "
+            f"{job['preemptions']:>7d} {job['wait_ms']:>9.1f} "
+            f"{job['span_ms']:>10.1f} {digest:<18s} {solo:<5s}"
+        )
+    lines.append("")
+    lines.append("timeline (segments as [from,to) subnet ranges):")
+    segments = []
+    for job in report["jobs"]:
+        for seg in job["segments"]:
+            segments.append((seg["start_ms"], job["name"], seg))
+    for start, name, seg in sorted(segments, key=lambda s: (s[0], s[1])):
+        slots = ",".join(str(s) for s in seg["slots"])
+        lines.append(
+            f"  t={start:9.1f}ms  {name:<12s} [{seg['from']:>3d},{seg['to']:>3d}) "
+            f"on {seg['gpus']} GPU(s) {{{slots}}}  ({seg['makespan_ms']:.1f} ms)"
+        )
+    if report.get("verified"):
+        lines.append("")
+        lines.append(
+            "tenant isolation: every job's digest "
+            + (
+                "matches its solo run bitwise"
+                if report["ok"]
+                else "DIVERGED from its solo run"
+            )
+        )
+    return "\n".join(lines)

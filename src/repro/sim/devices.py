@@ -33,6 +33,16 @@ class GpuDevice:
     resident_bytes: int = 0
     reserved_bytes: int = 0  # framework / workspace overhead
     _resident: Dict[object, int] = field(default_factory=dict)
+    #: physical slot this device occupies in a shared fleet (set when the
+    #: device is materialised from a :class:`repro.service.lease.DeviceLease`;
+    #: ``None`` for engines that own their whole cluster, where stage
+    #: index and physical identity coincide).
+    slot: Optional[int] = None
+
+    @property
+    def physical_slot(self) -> int:
+        """Fleet-wide identity of this GPU (== ``gpu_id`` outside a lease)."""
+        return self.gpu_id if self.slot is None else self.slot
 
     @property
     def free_bytes(self) -> int:

@@ -36,6 +36,7 @@ REQUIRED_DOCS = (
     "docs/FAULT_TOLERANCE.md",
     "docs/API.md",
     "docs/TESTING.md",
+    "docs/OPERATIONS.md",
 )
 
 
