@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler bench-obs obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke serve-demo clean
+.PHONY: install test bench bench-scheduler bench-obs bench-serving obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke serve-demo serving-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,6 +14,11 @@ bench:
 bench-scheduler:
 	python -m repro scheduler-cost --json BENCH_scheduler.json \
 		--baseline benchmarks/scheduler_baseline.json
+
+bench-serving:
+	python -m repro bench-serving examples/serving_demo.json \
+		--json BENCH_serving.json \
+		--baseline benchmarks/serving_baseline.json
 
 bench-obs:
 	python -m repro analyze examples/trace_demo.json \
@@ -52,6 +57,9 @@ chaos-smoke:
 serve-demo:
 	python -m repro serve examples/serve_demo.json \
 		--json serve_demo.report.json
+
+serving-demo:
+	python -m repro bench-serving examples/serving_demo.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -605,6 +605,56 @@ def _serve(args) -> str:
     return text
 
 
+def _bench_serving(args) -> str:
+    """``naspipe bench-serving <config>``: run the subnet-evaluation
+    serving benchmark (cache on / cache off / overload) and report
+    latency percentiles, throughput, hit/shed rates and SLO attainment.
+
+    The config is a small JSON object, e.g.
+    ``examples/serving_demo.json``::
+
+        {"space": "NLP.c3", "num_gpus": 4, "total_gpus": 8,
+         "requests": 300, "arrival": "poisson", "rate_rps": 60,
+         "skew": 0.7, "repeat_fraction": 0.3, "seed": 2022,
+         "max_batch": 8, "max_linger_ms": 6.0, "queue_bound": 48,
+         "slo_ms": 250.0}
+
+    ``--json PATH`` writes the canonical ``BENCH_serving.json`` payload
+    (byte-identical across identical runs — the ``serving-smoke`` CI
+    job ``cmp``'s two of them); ``--baseline PATH`` gates p99 latency
+    and throughput against a committed baseline and exits non-zero on
+    regression, determinism violation, or a broken structural claim
+    (cache must strictly help; admitted overload requests must meet the
+    SLO).  See ``docs/SERVING.md``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.serving import (
+        check_regression,
+        format_serving_report,
+        run_bench,
+        serving_report_json,
+    )
+
+    config_path = Path(args.config)
+    payload = run_bench(json.loads(config_path.read_text()))
+    out = [format_serving_report(payload)]
+    if args.json:
+        target = Path(args.json)
+        target.write_text(serving_report_json(payload))
+        out.append(f"[serving bench written to {target}]")
+    if args.baseline:
+        failures = check_regression(payload, args.baseline)
+        if failures:
+            print("\n".join(out))
+            raise SystemExit(
+                "serving regression:\n  " + "\n  ".join(failures)
+            )
+        out.append(f"[no regression vs {args.baseline}]")
+    return "\n".join(out)
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -706,6 +756,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "faults",
             "chaos",
             "serve",
+            "bench-serving",
             "all",
             "list",
         ),
@@ -715,7 +766,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diffs two registry records; 'faults' runs a fault-injection "
         "scenario with recovery; 'chaos' runs a seeded randomized "
         "robustness sweep; 'serve' runs a multi-tenant job mix on a "
-        "shared fleet)",
+        "shared fleet; 'bench-serving' runs the subnet-evaluation "
+        "serving benchmark with latency percentiles and SLO stats)",
     )
     parser.add_argument(
         "config",
@@ -759,7 +811,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "its payload (BENCH_scheduler.json) here; faults: write the "
         "machine-readable availability summary here; chaos: write the "
         "machine-readable sweep report here; serve: write the canonical "
-        "service report here (byte-deterministic)",
+        "service report here (byte-deterministic); bench-serving: write "
+        "the canonical serving benchmark (BENCH_serving.json) here",
     )
     parser.add_argument(
         "--seeds",
@@ -771,7 +824,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--baseline",
         metavar="PATH",
         help="scheduler-cost: fail (exit 1) if mean per-call time "
-        "regresses >2x against this committed baseline JSON",
+        "regresses >2x against this committed baseline JSON; "
+        "bench-serving: fail if p99 latency or throughput regresses >2x "
+        "against it (plus bitwise determinism checks)",
     )
     parser.add_argument(
         "--stream-lens",
@@ -843,7 +898,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "\n".join(
                 _EXPERIMENTS
-                + ("trace", "analyze", "compare", "faults", "chaos", "serve")
+                + (
+                    "trace",
+                    "analyze",
+                    "compare",
+                    "faults",
+                    "chaos",
+                    "serve",
+                    "bench-serving",
+                )
             )
         )
         return 0
@@ -882,6 +945,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.config:
             parser.error("serve requires a JSON jobs config path")
         print(_serve(args))
+        return 0
+
+    if args.experiment == "bench-serving":
+        if not args.config:
+            parser.error("bench-serving requires a JSON serving config path")
+        print(_bench_serving(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

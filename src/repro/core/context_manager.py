@@ -200,6 +200,27 @@ class StageContextManager:
     # ------------------------------------------------------------------
     # public operations
     # ------------------------------------------------------------------
+    def peek_residency(
+        self, layers: Iterable[LayerId], now: float
+    ) -> Tuple[int, int]:
+        """Count ``(resident, absent_or_in_flight)`` without side effects.
+
+        Unlike :meth:`acquire_for_task` this neither pins, fetches,
+        touches LRU order nor increments the hit/miss counters — it is a
+        pure observation, so callers (the serving plane's locality
+        accounting, admission heuristics) can inspect the cache without
+        perturbing its deterministic eviction order.
+        """
+        resident = 0
+        absent = 0
+        for layer in layers:
+            entry = self._entries.get(layer)
+            if entry is not None and entry.ready_at <= now:
+                resident += 1
+            else:
+                absent += 1
+        return resident, absent
+
     def prefetch(self, layers: Iterable[LayerId], now: float) -> float:
         """Asynchronously fetch any non-resident layers (predictor path).
 

@@ -450,6 +450,69 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             EventField("segments", _INT, "engine incarnations used"),
             stage_scoped=False,
         ),
+        # -- serving plane (repro.serving) -----------------------------
+        _schema(
+            "request_arrive",
+            "repro.serving.frontend",
+            "An open-loop subnet-evaluation request reached the serving "
+            "front-end; subnet_id is the request id.",
+            EventField("digest", _STR, "subnet digest prefix (12 hex chars)"),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "request_admit",
+            "repro.serving.frontend",
+            "The request passed admission control and joined the "
+            "batching queue.",
+            EventField(
+                "queue_depth", _INT, "in-system backlog after the admit"
+            ),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "request_shed",
+            "repro.serving.frontend",
+            "The in-system backlog was at queue_bound; the request was "
+            "rejected immediately (deterministic load shedding).",
+            EventField(
+                "queue_depth", _INT, "in-system backlog at the rejection"
+            ),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "batch_form",
+            "repro.serving.frontend",
+            "A scoring batch was emitted by the bounded batcher (full, "
+            "linger expiry, or end-of-workload drain).",
+            EventField("batch", _INT, "0-based batch ordinal"),
+            EventField("size", _INT, "requests in the batch"),
+            EventField("cause", _STR, '"full", "linger" or "drain"'),
+            EventField(
+                "oldest_wait_ms", _NUMBER, "oldest member's queueing time"
+            ),
+            stage_scoped=False,
+        ),
+        _schema(
+            "cache_hit",
+            "repro.serving.frontend",
+            "The request's subnet digest was resident in the result "
+            "cache; it completes without touching the fleet.",
+            EventField("tier", _STR, 'cache tier ("result")'),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "cache_miss",
+            "repro.serving.frontend",
+            "The request's subnet digest was absent from the result "
+            "cache; it proceeds to admission and batching.",
+            EventField("tier", _STR, 'cache tier ("result")'),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
         _schema(
             "rebalance",
             "repro.ft.degradation",

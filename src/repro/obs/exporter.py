@@ -315,6 +315,41 @@ def to_perfetto(
                     "args": attrs,
                 }
             )
+        elif event.kind in (
+            "request_arrive",
+            "request_admit",
+            "request_shed",
+            "cache_hit",
+            "cache_miss",
+        ):
+            events.append(
+                {
+                    "name": f"{event.kind} R{event.subnet_id}",
+                    "cat": "serving",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
+        elif event.kind == "batch_form":
+            events.append(
+                {
+                    "name": (
+                        f"batch {attrs['batch']} "
+                        f"({attrs['size']} req, {attrs['cause']})"
+                    ),
+                    "cat": "serving",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
         elif event.kind == "health_report":
             events.append(
                 {

@@ -1,0 +1,55 @@
+"""Subnet-evaluation serving plane (``repro.serving``).
+
+The trained supernet's consumers are architecture-search clients issuing
+high volumes of subnet-evaluation queries (GreedyNAS-style loops filter
+thousands of candidate paths).  This package opens that read-mostly,
+latency-SLO workload on the simulated fleet:
+
+* :mod:`repro.serving.workload` — seeded open-loop load generator
+  (Poisson / bursty arrivals, shared-prefix skew, popular-subnet
+  repeats);
+* :mod:`repro.serving.batcher` — bounded batching with a linger window
+  and deterministic load shedding once the queue passes a bound;
+* :mod:`repro.serving.cache` — a result cache keyed by subnet digest
+  plus shared-prefix reuse of resident layer blocks (the stage context
+  manager repurposed read-mostly);
+* :mod:`repro.serving.frontend` — the serving engine: leases GPUs from
+  a :class:`~repro.service.manager.ClusterManager`, scores batches on
+  the simulated pipeline, records per-request timestamps;
+* :mod:`repro.serving.metrics` — nearest-rank latency percentiles,
+  throughput / hit / shed / SLO stats, the canonical ``BENCH_serving``
+  report, and its CI regression gate.
+
+Everything is deterministic: identical configs produce byte-identical
+reports (the ``serving-smoke`` CI job ``cmp``'s two runs).  See
+``docs/SERVING.md``.
+"""
+
+from repro.serving.batcher import BatchPolicy, BoundedBatcher
+from repro.serving.cache import LayerBlockCache, ResultCache, subnet_digest
+from repro.serving.frontend import ServingEngine, ServingSpec, run_bench
+from repro.serving.metrics import (
+    check_regression,
+    format_serving_report,
+    nearest_rank,
+    serving_report_json,
+)
+from repro.serving.workload import EvalRequest, WorkloadSpec, generate_requests
+
+__all__ = [
+    "BatchPolicy",
+    "BoundedBatcher",
+    "EvalRequest",
+    "LayerBlockCache",
+    "ResultCache",
+    "ServingEngine",
+    "ServingSpec",
+    "WorkloadSpec",
+    "check_regression",
+    "format_serving_report",
+    "generate_requests",
+    "nearest_rank",
+    "run_bench",
+    "serving_report_json",
+    "subnet_digest",
+]

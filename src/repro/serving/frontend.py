@@ -1,0 +1,500 @@
+"""The serving engine: leased GPUs, batched scoring, per-request timing.
+
+A :class:`ServingEngine` is one serving *tenant*: it leases
+``num_gpus`` from a :class:`~repro.service.manager.ClusterManager`
+(so it can co-run beside training jobs on the same fleet), materialises
+the lease into a fresh simulated cluster, and drives an open-loop
+request stream through admission → batching → pipelined forward-only
+scoring, recording arrival / admit / batch / score / done timestamps
+per request.
+
+Scoring is forward-only pipeline execution over a **static** partition
+(:func:`~repro.partition.static.static_partition_for_space` — serving
+has no per-subnet rebalancing; the partition is fixed at deployment):
+request *r*'s stage *s* starts when both its stage *s−1* finished and
+the stage's GPU is free, stalls until the stage's layer share is
+resident (tier-2 cache), then computes the stage's forward time.
+Consecutive requests of a batch overlap across stages exactly like
+forward microbatches in GPipe.
+
+Everything runs on one discrete-event virtual clock
+(:class:`~repro.sim.engine.SimulationEngine`), and every decision —
+shed or admit, flush cause, fetch stall — is a pure function of the
+seeded workload, so two runs produce byte-identical reports.  The run's
+timeline is a schema-validated :class:`~repro.sim.trace.ExecutionTrace`
+carrying the six serving event kinds documented in ``docs/TRACING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.core.context_manager import StageContextManager
+from repro.partition.static import static_partition_for_space
+from repro.serving.batcher import BatchPolicy, BoundedBatcher, FormedBatch
+from repro.serving.cache import LayerBlockCache, ResultCache, subnet_digest
+from repro.serving.metrics import latency_stats, write_bench_json
+from repro.serving.workload import EvalRequest, WorkloadSpec, generate_requests
+from repro.service.manager import ClusterManager
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import ExecutionTrace
+from repro.supernet.search_space import get_search_space
+from repro.supernet.supernet import Supernet
+
+__all__ = ["RequestRecord", "ServingEngine", "ServingSpec", "run_bench"]
+
+_SERVING_KEYS = frozenset(
+    {
+        "space",
+        "space_overrides",
+        "num_gpus",
+        "total_gpus",
+        "eval_batch",
+        "slo_ms",
+        "result_entries",
+        "cache_subnets",
+        "result_hit_cost_ms",
+        "requests",
+        "arrival",
+        "rate_rps",
+        "burst_factor",
+        "burst_period_ms",
+        "skew",
+        "hot_prefixes",
+        "prefix_blocks",
+        "repeat_fraction",
+        "seed",
+        "max_batch",
+        "max_linger_ms",
+        "queue_bound",
+        "overload_rate_factor",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """One serving deployment: fleet share, workload, policy, caches."""
+
+    space: str = "NLP.c3"
+    space_overrides: Optional[Dict] = None
+    num_gpus: int = 4  # GPUs this tenant leases (= pipeline stages)
+    total_gpus: int = 8  # fleet size when we build the manager ourselves
+    eval_batch: int = 32  # samples per evaluation request
+    slo_ms: float = 250.0
+    result_entries: int = 256  # tier-1 digest cache capacity (0 = off)
+    cache_subnets: float = 3.0  # tier-2 capacity, in subnet stage-shares
+    result_hit_cost_ms: float = 0.05  # lookup cost charged to a tier-1 hit
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    overload_rate_factor: float = 6.0  # bench: rate multiplier for overload
+
+    @staticmethod
+    def from_payload(payload: Dict) -> "ServingSpec":
+        unknown = sorted(set(payload) - _SERVING_KEYS)
+        if unknown:
+            raise ConfigError(f"unknown serving config keys: {unknown}")
+        workload = WorkloadSpec(
+            num_requests=int(payload.get("requests", 200)),
+            arrival=payload.get("arrival", "poisson"),
+            rate_rps=float(payload.get("rate_rps", 50.0)),
+            burst_factor=float(payload.get("burst_factor", 4.0)),
+            burst_period_ms=float(payload.get("burst_period_ms", 200.0)),
+            skew=float(payload.get("skew", 0.6)),
+            hot_prefixes=int(payload.get("hot_prefixes", 4)),
+            prefix_blocks=int(payload.get("prefix_blocks", 8)),
+            repeat_fraction=float(payload.get("repeat_fraction", 0.25)),
+            seed=int(payload.get("seed", 2022)),
+        )
+        policy = BatchPolicy(
+            max_batch=int(payload.get("max_batch", 8)),
+            max_linger_ms=float(payload.get("max_linger_ms", 5.0)),
+            queue_bound=int(payload.get("queue_bound", 64)),
+        )
+        return ServingSpec(
+            space=payload.get("space", "NLP.c3"),
+            space_overrides=payload.get("space_overrides"),
+            num_gpus=int(payload.get("num_gpus", 4)),
+            total_gpus=int(payload.get("total_gpus", 8)),
+            eval_batch=int(payload.get("eval_batch", 32)),
+            slo_ms=float(payload.get("slo_ms", 250.0)),
+            result_entries=int(payload.get("result_entries", 256)),
+            cache_subnets=float(payload.get("cache_subnets", 3.0)),
+            result_hit_cost_ms=float(payload.get("result_hit_cost_ms", 0.05)),
+            workload=workload,
+            policy=policy,
+            overload_rate_factor=float(
+                payload.get("overload_rate_factor", 6.0)
+            ),
+        )
+
+
+@dataclass
+class RequestRecord:
+    """The five lifecycle timestamps of one request (plus its fate)."""
+
+    request_id: int
+    arrival_ms: float
+    outcome: str = "pending"  # "hit" | "completed" | "shed"
+    admit_ms: Optional[float] = None
+    batch_ms: Optional[float] = None  # batch formation instant
+    score_ms: Optional[float] = None  # first compute start on a GPU
+    done_ms: Optional[float] = None
+    batch_index: Optional[int] = None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        if self.done_ms is None:
+            return None
+        return self.done_ms - self.arrival_ms
+
+
+class ServingEngine:
+    """Score one seeded workload on leased GPUs; fully deterministic."""
+
+    def __init__(
+        self,
+        spec: ServingSpec,
+        manager: Optional[ClusterManager] = None,
+        cache_enabled: bool = True,
+    ) -> None:
+        self.spec = spec
+        space = get_search_space(spec.space)
+        if spec.space_overrides:
+            space = space.scaled(**spec.space_overrides)
+        self.space = space
+        self.supernet = Supernet(space)
+        self.manager = manager or ClusterManager(
+            ClusterSpec(num_gpus=spec.total_gpus)
+        )
+        self.lease = self.manager.acquire("serving", spec.num_gpus)
+        self.cluster = self.lease.materialize()
+        self.stages = spec.num_gpus
+        self.trace = ExecutionTrace(num_gpus=self.stages)
+        self.sim = SimulationEngine(trace=self.trace)
+        self.cache_enabled = cache_enabled
+
+        partition = static_partition_for_space(self.supernet, self.stages)
+        # Same sizing rule as the training engine: ``cache_subnets``
+        # stage-shares of the expected subnet parameter footprint.
+        share = self.supernet.expected_subnet_param_count() * 4 / self.stages
+        capacity = int(spec.cache_subnets * share)
+        contexts = [
+            StageContextManager(
+                stage,
+                self.supernet,
+                self.cluster.copy_engines[stage],
+                capacity,
+                self.trace,
+            )
+            for stage in range(self.stages)
+        ]
+        self.layer_cache = LayerBlockCache(
+            contexts, partition, enabled=cache_enabled
+        )
+        self.result_cache = ResultCache(
+            spec.result_entries if cache_enabled else 0
+        )
+        self.batcher = BoundedBatcher(spec.policy)
+        self.records: List[RequestRecord] = []
+        self._executor_queue: List[FormedBatch] = []
+        self._executor_free = 0.0
+        self._executor_busy = False
+        self._backlog = 0  # admitted requests formed but not finished
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def _record_request_event(
+        self, kind: str, now: float, request_id: int, **attrs
+    ) -> None:
+        self.trace.record_event(
+            kind, now, stage=-1, subnet_id=request_id, **attrs
+        )
+
+    def _on_arrival(self, request: EvalRequest) -> None:
+        now = self.sim.now
+        record = self.records[request.request_id]
+        digest = subnet_digest(self.space.name, request.subnet)
+        self._record_request_event(
+            "request_arrive", now, request.request_id, digest=digest[:12]
+        )
+        if self.result_cache.enabled:
+            score = self.result_cache.get(digest)
+            if score is not None:
+                record.outcome = "hit"
+                record.done_ms = now + self.spec.result_hit_cost_ms
+                self._record_request_event(
+                    "cache_hit", now, request.request_id, tier="result"
+                )
+                return
+            self._record_request_event(
+                "cache_miss", now, request.request_id, tier="result"
+            )
+        admitted = self.batcher.offer(request, now, self._backlog)
+        if not admitted:
+            record.outcome = "shed"
+            self._record_request_event(
+                "request_shed",
+                now,
+                request.request_id,
+                queue_depth=self.batcher.depth() + self._backlog,
+            )
+            return
+        record.admit_ms = now
+        self._record_request_event(
+            "request_admit",
+            now,
+            request.request_id,
+            queue_depth=self.batcher.depth() + self._backlog,
+        )
+        batch = self.batcher.flush_full(now)
+        if batch is not None:
+            self._on_batch(batch)
+        else:
+            self.sim.schedule(
+                now + self.spec.policy.max_linger_ms,
+                lambda rid=request.request_id: self._on_linger(rid),
+                priority=5,
+                label="serving-linger",
+            )
+
+    def _on_linger(self, request_id: int) -> None:
+        batch = self.batcher.flush_due(self.sim.now, request_id)
+        if batch is not None:
+            self._on_batch(batch)
+
+    def _on_batch(self, batch: FormedBatch) -> None:
+        now = self.sim.now
+        self._backlog += len(batch)
+        self.trace.record_event(
+            "batch_form",
+            now,
+            stage=-1,
+            subnet_id=-1,
+            batch=batch.index,
+            size=len(batch),
+            cause=batch.cause,
+            oldest_wait_ms=batch.oldest_wait_ms,
+        )
+        for request in batch.requests:
+            record = self.records[request.request_id]
+            record.batch_ms = now
+            record.batch_index = batch.index
+        if self.cache_enabled:
+            # Warm the stage caches while the executor finishes earlier
+            # batches: copies overlap compute on the async copy engines.
+            for request in batch.requests:
+                self.layer_cache.prefetch(request.subnet, now)
+        self._executor_queue.append(batch)
+        self._maybe_start_executor()
+
+    # ------------------------------------------------------------------
+    # batch scoring (forward-only pipeline over the static partition)
+    # ------------------------------------------------------------------
+    def _maybe_start_executor(self) -> None:
+        if self._executor_busy or not self._executor_queue:
+            return
+        batch = self._executor_queue.pop(0)
+        start = max(self.sim.now, self._executor_free)
+        done = self._score_batch(batch, start)
+        self._executor_busy = True
+        self._executor_free = done
+        self.sim.schedule(
+            done,
+            lambda b=batch: self._on_batch_done(b),
+            priority=5,
+            label="serving-batch-done",
+        )
+
+    def _score_batch(self, batch: FormedBatch, start: float) -> float:
+        stage_free = [start] * self.stages
+        batch_done = start
+        for request in batch.requests:
+            record = self.records[request.request_id]
+            prev_done = start
+            first_start: Optional[float] = None
+            for stage in range(self.stages):
+                t0 = max(prev_done, stage_free[stage])
+                plan = self.layer_cache.acquire(request.subnet, stage, t0)
+                compute_start = max(t0, plan.ready_time)
+                if first_start is None:
+                    first_start = compute_start
+                compute_ms = sum(
+                    self.supernet.layer_fwd_ms(layer, self.spec.eval_batch)
+                    for layer in self.layer_cache.stage_layers(
+                        request.subnet, stage
+                    )
+                )
+                end = compute_start + compute_ms
+                self.layer_cache.release(request.subnet, stage, end)
+                stage_free[stage] = end
+                prev_done = end
+            record.score_ms = first_start
+            record.done_ms = prev_done
+            record.outcome = "completed"
+            batch_done = max(batch_done, prev_done)
+        return batch_done
+
+    def _on_batch_done(self, batch: FormedBatch) -> None:
+        now = self.sim.now
+        self._backlog -= len(batch)
+        for request in batch.requests:
+            digest = subnet_digest(self.space.name, request.subnet)
+            self.result_cache.put(digest, _score_of(digest))
+        self.layer_cache.after_batch(now)
+        self._executor_busy = False
+        self._maybe_start_executor()
+
+    # ------------------------------------------------------------------
+    def run(self) -> "ServingResult":
+        requests = generate_requests(self.spec.workload, self.space)
+        self.records = [
+            RequestRecord(request_id=r.request_id, arrival_ms=r.arrival_ms)
+            for r in requests
+        ]
+        for request in requests:
+            self.sim.schedule(
+                request.arrival_ms,
+                lambda r=request: self._on_arrival(r),
+                priority=0,
+                label="serving-arrival",
+            )
+        self.sim.run()
+        self.lease.release()
+        return ServingResult(self)
+
+
+def _score_of(digest: str) -> float:
+    """Deterministic pseudo-score in [0, 1) from the subnet digest.
+
+    The functional plane's real evaluation quality lives in
+    ``repro.nas``; serving benchmarks only need a stable, digest-pure
+    value to memoise.
+    """
+    return int(digest[:12], 16) / float(16**12)
+
+
+class ServingResult:
+    """Finished run: per-request records plus scenario-level stats."""
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.spec = engine.spec
+        self.records = engine.records
+        self.trace = engine.trace
+        self.result_cache = engine.result_cache
+        self.layer_cache = engine.layer_cache
+        self.batches_formed = engine.batcher.batches_formed
+        done_times = [
+            r.done_ms for r in self.records if r.done_ms is not None
+        ]
+        self.makespan_ms = max(done_times) if done_times else 0.0
+
+    def scenario_report(self) -> Dict:
+        completed = [r for r in self.records if r.done_ms is not None]
+        shed = [r for r in self.records if r.outcome == "shed"]
+        latencies = [r.latency_ms for r in completed]
+        result_hits = self.result_cache.hits
+        result_total = self.result_cache.hits + self.result_cache.misses
+        layer_hits = self.layer_cache.hits()
+        layer_total = layer_hits + self.layer_cache.misses()
+        combined_total = result_total + layer_total
+        slo = self.spec.slo_ms
+        return {
+            "requests": len(self.records),
+            "completed": len(completed),
+            "shed": len(shed),
+            "shed_rate": len(shed) / len(self.records) if self.records else 0.0,
+            "batches": self.batches_formed,
+            "latency_ms": latency_stats(latencies),
+            "throughput_rps": (
+                len(completed) / (self.makespan_ms / 1000.0)
+                if self.makespan_ms
+                else 0.0
+            ),
+            "slo_ms": slo,
+            "slo_attainment": (
+                sum(1 for lat in latencies if lat <= slo) / len(latencies)
+                if latencies
+                else 0.0
+            ),
+            "result_hit_rate": (
+                result_hits / result_total if result_total else 0.0
+            ),
+            "layer_hit_rate": (
+                layer_hits / layer_total if layer_total else 0.0
+            ),
+            "hit_rate": (
+                (result_hits + layer_hits) / combined_total
+                if combined_total
+                else 0.0
+            ),
+            "cache": {
+                "result_hits": result_hits,
+                "result_misses": self.result_cache.misses,
+                "result_evictions": self.result_cache.evictions,
+                **self.layer_cache.stats(),
+            },
+            "makespan_ms": self.makespan_ms,
+        }
+
+
+# ----------------------------------------------------------------------
+# the benchmark: three scenarios over one config
+# ----------------------------------------------------------------------
+def run_bench(payload: Dict) -> Dict:
+    """The ``BENCH_serving.json`` payload for one serving config.
+
+    Three scenarios share the spec: **primary** (both cache tiers on),
+    **no_cache** (identical workload, caches disabled — every layer
+    copy re-paid, no digest memoisation), and **overload** (arrival
+    rate × ``overload_rate_factor``, caches on) exercising deterministic
+    shedding while admitted requests stay inside the SLO.
+    """
+    spec = ServingSpec.from_payload(payload)
+    primary = ServingEngine(spec, cache_enabled=True).run()
+    no_cache = ServingEngine(spec, cache_enabled=False).run()
+    overload_workload = WorkloadSpec(
+        **{
+            **spec.workload.__dict__,
+            "rate_rps": spec.workload.rate_rps * spec.overload_rate_factor,
+        }
+    )
+    overload_spec = ServingSpec(
+        **{**spec.__dict__, "workload": overload_workload}
+    )
+    overload = ServingEngine(overload_spec, cache_enabled=True).run()
+    return {
+        "benchmark": "serving",
+        "config": {
+            "space": spec.space,
+            "space_overrides": spec.space_overrides or {},
+            "num_gpus": spec.num_gpus,
+            "total_gpus": spec.total_gpus,
+            "eval_batch": spec.eval_batch,
+            "requests": spec.workload.num_requests,
+            "arrival": spec.workload.arrival,
+            "rate_rps": spec.workload.rate_rps,
+            "skew": spec.workload.skew,
+            "prefix_blocks": spec.workload.prefix_blocks,
+            "repeat_fraction": spec.workload.repeat_fraction,
+            "seed": spec.workload.seed,
+            "max_batch": spec.policy.max_batch,
+            "max_linger_ms": spec.policy.max_linger_ms,
+            "queue_bound": spec.policy.queue_bound,
+            "result_entries": spec.result_entries,
+            "cache_subnets": spec.cache_subnets,
+            "slo_ms": spec.slo_ms,
+            "overload_rate_factor": spec.overload_rate_factor,
+        },
+        "primary": primary.scenario_report(),
+        "no_cache": no_cache.scenario_report(),
+        "overload": overload.scenario_report(),
+    }
+
+
+def write_bench(payload: Dict, path) -> str:
+    return str(write_bench_json(payload, path))

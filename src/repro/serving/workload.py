@@ -1,0 +1,165 @@
+"""Seeded open-loop load generation for subnet-evaluation serving.
+
+An *open-loop* generator emits requests on a fixed arrival process
+regardless of how the server keeps up — the standard way to measure
+latency under load without coordinated omission.  Arrivals are either
+Poisson (exponential inter-arrival at ``rate_rps``) or bursty (the same
+Poisson process whose rate alternates between ``rate_rps ×
+burst_factor`` and a matching low phase, period ``burst_period_ms``).
+
+Two knobs shape locality, mirroring how real search clients behave:
+
+* **shared-prefix skew** — with probability ``skew`` a request's first
+  ``prefix_blocks`` choices come from one of ``hot_prefixes`` popular
+  sub-paths (GreedyNAS keeps a pool of promising partial paths), so
+  consecutive requests re-use the same early layer blocks;
+* **repeats** — with probability ``repeat_fraction`` a request re-issues
+  a previously generated subnet verbatim (many users querying the same
+  popular architecture), which is what a digest-keyed result cache can
+  serve outright.
+
+All randomness flows through named :class:`~repro.seeding.
+SeedSequenceTree` streams, so the request sequence — ids, arrival
+times, choices — is a pure function of the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.seeding import SeedSequenceTree
+from repro.supernet.search_space import SearchSpace
+from repro.supernet.subnet import Subnet
+
+__all__ = ["EvalRequest", "WorkloadSpec", "generate_requests"]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One subnet-evaluation query: who, when, and which path."""
+
+    request_id: int
+    arrival_ms: float
+    subnet: Subnet
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a serving workload (see module docstring)."""
+
+    num_requests: int = 200
+    arrival: str = "poisson"  # "poisson" | "bursty"
+    rate_rps: float = 50.0  # mean requests per virtual second
+    burst_factor: float = 4.0  # bursty: high-phase rate multiplier
+    burst_period_ms: float = 200.0  # bursty: length of one phase
+    skew: float = 0.6  # P(hot shared prefix)
+    hot_prefixes: int = 4  # size of the popular-prefix pool
+    prefix_blocks: int = 8  # leading blocks a prefix covers
+    repeat_fraction: float = 0.25  # P(verbatim repeat of an earlier subnet)
+    seed: int = 2022
+
+    def validate(self, space: SearchSpace) -> None:
+        if self.num_requests <= 0:
+            raise ConfigError(f"num_requests must be > 0, got {self.num_requests}")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ConfigError(f"unknown arrival process {self.arrival!r}")
+        if self.rate_rps <= 0:
+            raise ConfigError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if not 0.0 <= self.skew <= 1.0:
+            raise ConfigError(f"skew must be in [0, 1], got {self.skew}")
+        if not 0.0 <= self.repeat_fraction <= 1.0:
+            raise ConfigError(
+                f"repeat_fraction must be in [0, 1], got {self.repeat_fraction}"
+            )
+        if self.prefix_blocks > space.num_blocks:
+            raise ConfigError(
+                f"prefix_blocks {self.prefix_blocks} exceeds the space's "
+                f"{space.num_blocks} blocks"
+            )
+        if self.skew > 0 and self.hot_prefixes <= 0:
+            raise ConfigError("skew > 0 requires hot_prefixes >= 1")
+
+
+def _arrival_times(spec: WorkloadSpec, seeds: SeedSequenceTree) -> List[float]:
+    """Open-loop arrival instants (virtual ms), strictly increasing."""
+    rng = seeds.fresh_generator("serving-arrivals")
+    mean_gap_ms = 1000.0 / spec.rate_rps
+    times: List[float] = []
+    now = 0.0
+    for _ in range(spec.num_requests):
+        gap = float(rng.exponential(mean_gap_ms))
+        if spec.arrival == "bursty":
+            # Alternate phases: high rate (gap / burst_factor) then low.
+            # The low phase stretches gaps so the *mean* rate stays at
+            # rate_rps: with factor f, low-phase gaps are scaled by
+            # (2f - 1) / f, making the two-phase average exactly 2.
+            phase = int(now // spec.burst_period_ms) % 2
+            if phase == 0:
+                gap /= spec.burst_factor
+            else:
+                gap *= (2.0 * spec.burst_factor - 1.0) / spec.burst_factor
+        now += gap
+        times.append(now)
+    return times
+
+
+def _hot_prefix_pool(
+    spec: WorkloadSpec, space: SearchSpace, seeds: SeedSequenceTree
+) -> List[Tuple[int, ...]]:
+    """The popular partial paths shared-prefix requests draw from."""
+    rng = seeds.fresh_generator("serving-prefixes")
+    return [
+        tuple(
+            int(rng.integers(0, space.choices_per_block))
+            for _ in range(spec.prefix_blocks)
+        )
+        for _ in range(spec.hot_prefixes)
+    ]
+
+
+def generate_requests(
+    spec: WorkloadSpec, space: SearchSpace
+) -> List[EvalRequest]:
+    """Materialise the full request sequence for ``spec`` over ``space``.
+
+    Deterministic: every draw comes from a named seed stream, so two
+    calls with equal spec and space yield identical request lists
+    (ids, times, and choice tuples all bitwise equal).
+    """
+    spec.validate(space)
+    seeds = SeedSequenceTree(spec.seed)
+    times = _arrival_times(spec, seeds)
+    prefixes = _hot_prefix_pool(spec, space, seeds)
+    choices_rng = seeds.fresh_generator("serving-choices")
+    mix_rng = seeds.fresh_generator("serving-mix")
+
+    requests: List[EvalRequest] = []
+    history: List[Tuple[int, ...]] = []
+    for request_id in range(spec.num_requests):
+        repeat = (
+            history
+            and float(mix_rng.random()) < spec.repeat_fraction
+        )
+        if repeat:
+            choices = history[int(mix_rng.integers(0, len(history)))]
+        else:
+            hot = spec.skew > 0 and float(mix_rng.random()) < spec.skew
+            prefix: Tuple[int, ...] = ()
+            if hot:
+                prefix = prefixes[int(mix_rng.integers(0, len(prefixes)))]
+            tail = tuple(
+                int(choices_rng.integers(0, space.choices_per_block))
+                for _ in range(space.num_blocks - len(prefix))
+            )
+            choices = prefix + tail
+        history.append(choices)
+        requests.append(
+            EvalRequest(
+                request_id=request_id,
+                arrival_ms=times[request_id],
+                subnet=Subnet(request_id, choices),
+            )
+        )
+    return requests

@@ -37,6 +37,7 @@ REQUIRED_DOCS = (
     "docs/API.md",
     "docs/TESTING.md",
     "docs/OPERATIONS.md",
+    "docs/SERVING.md",
 )
 
 
