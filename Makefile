@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler bench-obs bench-serving obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke serve-demo serving-demo clean
+.PHONY: install test bench bench-scheduler bench-obs bench-serving obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke chaos-fleet serve-demo serving-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -53,6 +53,10 @@ faults-demo:
 chaos-smoke:
 	python -m repro chaos examples/chaos_demo.json --seeds 10 \
 		--json chaos_smoke.report.json
+
+chaos-fleet:
+	python -m repro chaos-fleet examples/chaos_fleet_demo.json \
+		--json chaos_fleet.report.json
 
 serve-demo:
 	python -m repro serve examples/serve_demo.json \

@@ -556,6 +556,50 @@ def _chaos(args) -> str:
     return text
 
 
+def _chaos_fleet(args) -> str:
+    """``naspipe chaos-fleet <config>``: fleet-scale preemption storms.
+
+    Runs a multi-tenant mix (elastic CSP + rigid + serving) on shared
+    fleets while seeded preemption storms (``slot_preempt`` /
+    ``node_down``) revoke leases mid-run, then checks the fleet
+    invariant suite: every surviving CSP tenant's digest is bitwise
+    identical to its fault-free solo run, no lease leaks, the scheduler
+    quiesces, and admitted non-retried serving requests outside outage
+    windows meet the SLO.  Exits non-zero on any violation, so the
+    sweep is CI-gateable (``make chaos-fleet``).
+
+    The config is a JSON object, e.g. ``examples/chaos_fleet_demo.json``::
+
+        {"fleet_slots": [8], "scenarios": 2, "seed": 2022,
+         "storm_mtbf_fraction": 0.25, "slots_per_node": 4,
+         "serving": {...}, "jobs": [...]}
+
+    ``--json PATH`` writes the canonical machine-readable sweep report
+    (byte-identical across identical runs; the ``chaos-fleet-smoke``
+    CI gate ``cmp``'s two of them).  See ``docs/FAULT_TOLERANCE.md``.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.ft import fleet_report_json, fleet_sweep, format_fleet_report
+
+    config_path = Path(args.config)
+    payload = json.loads(config_path.read_text())
+    report = fleet_sweep(payload)
+    text = format_fleet_report(report)
+    if args.json:
+        out = Path(args.json)
+        out.write_text(fleet_report_json(report))
+        text += f"\n[fleet chaos report written to {out}]"
+    if not report["ok"]:
+        print(text)
+        raise SystemExit(
+            f"fleet chaos sweep failed: {len(report['violations'])} "
+            "invariant violation(s)"
+        )
+    return text
+
+
 def _serve(args) -> str:
     """``naspipe serve <jobs.json>``: run a multi-tenant job mix on one
     shared simulated fleet and report per-job outcomes.
@@ -755,6 +799,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "compare",
             "faults",
             "chaos",
+            "chaos-fleet",
             "serve",
             "bench-serving",
             "all",
@@ -765,16 +810,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "critical-path breakdown and what-if projections; 'compare' "
         "diffs two registry records; 'faults' runs a fault-injection "
         "scenario with recovery; 'chaos' runs a seeded randomized "
-        "robustness sweep; 'serve' runs a multi-tenant job mix on a "
+        "robustness sweep; 'chaos-fleet' runs seeded preemption storms "
+        "against a multi-tenant fleet and checks the recovery "
+        "invariants; 'serve' runs a multi-tenant job mix on a "
         "shared fleet; 'bench-serving' runs the subnet-evaluation "
         "serving benchmark with latency percentiles and SLO stats)",
     )
     parser.add_argument(
         "config",
         nargs="?",
-        help="trace/analyze/faults/chaos/serve: JSON run config (see "
-        "examples/trace_demo.json, examples/faults_demo.json, "
-        "examples/chaos_demo.json and examples/serve_demo.json); "
+        help="trace/analyze/faults/chaos/chaos-fleet/serve: JSON run "
+        "config (see examples/trace_demo.json, examples/faults_demo.json, "
+        "examples/chaos_demo.json, examples/chaos_fleet_demo.json and "
+        "examples/serve_demo.json); "
         "compare: run A (record file or run_id prefix)",
     )
     parser.add_argument(
@@ -810,7 +858,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scheduler-cost: run the stream-scaling benchmark and write "
         "its payload (BENCH_scheduler.json) here; faults: write the "
         "machine-readable availability summary here; chaos: write the "
-        "machine-readable sweep report here; serve: write the canonical "
+        "machine-readable sweep report here; chaos-fleet: write the "
+        "canonical fleet storm report here; serve: write the canonical "
         "service report here (byte-deterministic); bench-serving: write "
         "the canonical serving benchmark (BENCH_serving.json) here",
     )
@@ -904,6 +953,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "compare",
                     "faults",
                     "chaos",
+                    "chaos-fleet",
                     "serve",
                     "bench-serving",
                 )
@@ -939,6 +989,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.config:
             parser.error("chaos requires a JSON run config path")
         print(_chaos(args))
+        return 0
+
+    if args.experiment == "chaos-fleet":
+        if not args.config:
+            parser.error("chaos-fleet requires a JSON fleet config path")
+        print(_chaos_fleet(args))
         return 0
 
     if args.experiment == "serve":

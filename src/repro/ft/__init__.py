@@ -26,10 +26,18 @@ take consistent-cut checkpoints, recover, and measure the cost:
   prefetch throttling, straggler rebalancing) for *non-fatal* faults;
 * :mod:`repro.ft.chaos` — seeded randomized robustness sweeps with an
   invariant suite (completion, bitwise digest, trace validity, memory
-  cap, bubble accounting).
+  cap, bubble accounting);
+* :mod:`repro.ft.fleet` — fleet-scale preemption storms across the
+  co-located service and serving planes (lease revocation, rigid
+  requeue/fail, serving retry) with their own invariant suite.
 """
 
-from repro.ft.availability import availability_summary, format_availability, mtbf_sweep
+from repro.ft.availability import (
+    availability_summary,
+    failure_summary,
+    format_availability,
+    mtbf_sweep,
+)
 from repro.ft.chaos import (
     NONFATAL_KINDS,
     chaos_invariants,
@@ -44,7 +52,20 @@ from repro.ft.degradation import (
     HealthMonitor,
     as_manager,
 )
-from repro.ft.faults import FATAL_KINDS, FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.ft.faults import (
+    ALL_KINDS,
+    FATAL_KINDS,
+    FAULT_KINDS,
+    FLEET_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.ft.fleet import (
+    fleet_report_json,
+    fleet_sweep,
+    format_fleet_report,
+    run_fleet_scenario,
+)
 from repro.ft.injector import FaultInjector
 from repro.ft.recovery import (
     FaultedRunResult,
@@ -57,8 +78,10 @@ from repro.ft.recovery import (
 )
 
 __all__ = [
+    "ALL_KINDS",
     "FAULT_KINDS",
     "FATAL_KINDS",
+    "FLEET_KINDS",
     "NONFATAL_KINDS",
     "FaultEvent",
     "FaultSchedule",
@@ -74,8 +97,13 @@ __all__ = [
     "default_optimizer",
     "rewarm_prefetch",
     "availability_summary",
+    "failure_summary",
     "format_availability",
     "mtbf_sweep",
+    "run_fleet_scenario",
+    "fleet_sweep",
+    "fleet_report_json",
+    "format_fleet_report",
     "DegradationPolicy",
     "DegradationManager",
     "HealthMonitor",

@@ -33,7 +33,38 @@ from repro.ft.recovery import (
 from repro.seeding import SeedSequenceTree
 from repro.supernet.search_space import SearchSpace
 
-__all__ = ["availability_summary", "format_availability", "mtbf_sweep"]
+__all__ = [
+    "availability_summary",
+    "failure_summary",
+    "format_availability",
+    "mtbf_sweep",
+]
+
+
+def failure_summary(
+    job: str,
+    *,
+    attempts: int,
+    max_restarts: int,
+    lost_virtual_ms: float,
+    fault: str,
+) -> Dict[str, object]:
+    """Structured record of one job's terminal failure.
+
+    Emitted when a restart budget is exhausted — by the service plane
+    for rigid jobs struck by lease revocations, and by
+    :func:`~repro.ft.recovery.run_with_recovery` when asked to record
+    rather than raise.  It is the machine-readable answer to "why did
+    this tenant fail while the fleet kept running": attempts made, the
+    budget they exceeded, virtual work discarded, and the last fault.
+    """
+    return {
+        "job": job,
+        "attempts": attempts,
+        "max_restarts": max_restarts,
+        "lost_virtual_ms": lost_virtual_ms,
+        "fault": fault,
+    }
 
 
 def availability_summary(

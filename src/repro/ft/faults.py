@@ -33,6 +33,28 @@ kind            target                 effect
                                        on the stage fail transiently and are
                                        retried with exponential backoff
 ==============  =====================  =======================================
+
+**Fleet-scoped kinds** (``FLEET_KINDS``) target the *service plane*, not
+one engine attempt: their ``target`` is a physical fleet slot (or node)
+index owned by a :class:`~repro.service.manager.ClusterManager`, and the
+engine-level :class:`~repro.ft.injector.FaultInjector` never binds them
+(an engine has stages, not fleet slots).
+
+================  ===================  =====================================
+kind              target               effect
+================  ===================  =====================================
+``slot_preempt``  fleet slot index     the slot is revoked (spot preemption)
+                                       for ``duration_ms``; the owning lease
+                                       is invalidated mid-segment
+``node_down``     node index           every slot of the contiguous node
+                                       group ``[target * slots_per_node,
+                                       (target + 1) * slots_per_node)`` is
+                                       revoked for ``duration_ms``
+================  ===================  =====================================
+
+:meth:`FaultSchedule.fleet_from_mtbf` draws seeded preemption *storms*
+of these kinds over a fleet — the generator behind
+``naspipe chaos-fleet``.
 """
 
 from __future__ import annotations
@@ -48,6 +70,8 @@ from repro.seeding import SeedSequenceTree
 __all__ = [
     "FAULT_KINDS",
     "FATAL_KINDS",
+    "FLEET_KINDS",
+    "ALL_KINDS",
     "FaultEvent",
     "FaultSchedule",
 ]
@@ -57,9 +81,18 @@ HOST_CRASH = "host_crash"
 NIC_DEGRADE = "nic_degrade"
 COPY_STALL = "copy_stall"
 TASK_ERROR = "task_error"
+SLOT_PREEMPT = "slot_preempt"
+NODE_DOWN = "node_down"
 
-#: every fault kind the injector understands
+#: every fault kind the engine-level injector understands
 FAULT_KINDS = (GPU_CRASH, HOST_CRASH, NIC_DEGRADE, COPY_STALL, TASK_ERROR)
+
+#: fleet-scoped kinds: handled by the service/serving planes (lease
+#: revocation), never bound into a single engine attempt
+FLEET_KINDS = (SLOT_PREEMPT, NODE_DOWN)
+
+#: every valid fault kind, engine-scoped and fleet-scoped
+ALL_KINDS = FAULT_KINDS + FLEET_KINDS
 
 #: fail-stop kinds: the run halts and recovery takes over
 FATAL_KINDS = frozenset({GPU_CRASH, HOST_CRASH})
@@ -82,10 +115,10 @@ class FaultEvent:
     magnitude: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_KINDS:
             raise ConfigError(
                 f"unknown fault kind {self.kind!r}; expected one of "
-                f"{sorted(FAULT_KINDS)}"
+                f"{sorted(ALL_KINDS)}"
             )
         if self.time_ms < 0:
             raise ConfigError(f"fault time must be >= 0, got {self.time_ms}")
@@ -100,6 +133,12 @@ class FaultEvent:
         if self.kind == TASK_ERROR and int(self.magnitude) < 1:
             raise ConfigError(
                 "task_error magnitude is a failure count and must be >= 1"
+            )
+        if self.kind in FLEET_KINDS and self.duration_ms <= 0:
+            raise ConfigError(
+                f"{self.kind} needs duration_ms > 0: a revoked slot must "
+                "come back (permanent fleet shrinkage is a config change, "
+                "not a fault)"
             )
 
     @property
@@ -259,4 +298,70 @@ class FaultSchedule:
             else:
                 event = FaultEvent(kind, clock, target)
             events.append(event)
+        return cls(events)
+
+    @classmethod
+    def fleet_from_mtbf(
+        cls,
+        seeds: SeedSequenceTree,
+        mtbf_ms: float,
+        horizon_ms: float,
+        fleet_slots: int,
+        slots_per_node: int = 4,
+        node_down_weight: float = 0.2,
+        preempt_outage_ms: float = 120.0,
+        node_outage_ms: float = 300.0,
+        stream_name: str = "faults/fleet",
+    ) -> "FaultSchedule":
+        """Draw a fleet-scoped preemption *storm* over ``[0, horizon_ms)``.
+
+        Inter-arrival times are exponential with mean ``mtbf_ms`` —
+        fleet-wide, not per-slot, so halving the MTBF doubles the storm
+        intensity regardless of fleet size.  Each arrival is a
+        ``slot_preempt`` on a uniform slot, or (with probability
+        ``node_down_weight``) a ``node_down`` taking the contiguous
+        group of ``slots_per_node`` slots of a uniform node.  The draw
+        comes from a named seed stream, so a storm is a pure function of
+        ``(root seed, mtbf, stream name)``.
+        """
+        if mtbf_ms <= 0:
+            raise ConfigError(f"mtbf must be positive, got {mtbf_ms}")
+        if fleet_slots < 1:
+            raise ConfigError(
+                f"fleet_slots must be >= 1, got {fleet_slots}"
+            )
+        if slots_per_node < 1:
+            raise ConfigError(
+                f"slots_per_node must be >= 1, got {slots_per_node}"
+            )
+        if not 0.0 <= node_down_weight <= 1.0:
+            raise ConfigError(
+                f"node_down_weight must be in [0, 1], got {node_down_weight}"
+            )
+        rng = seeds.fresh_generator(f"{stream_name}/{mtbf_ms}")
+        nodes = max(1, (fleet_slots + slots_per_node - 1) // slots_per_node)
+        events: List[FaultEvent] = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(mtbf_ms))
+            if clock >= horizon_ms:
+                break
+            if float(rng.random()) < node_down_weight:
+                events.append(
+                    FaultEvent(
+                        NODE_DOWN,
+                        clock,
+                        int(rng.integers(nodes)),
+                        duration_ms=node_outage_ms,
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(
+                        SLOT_PREEMPT,
+                        clock,
+                        int(rng.integers(fleet_slots)),
+                        duration_ms=preempt_outage_ms,
+                    )
+                )
         return cls(events)

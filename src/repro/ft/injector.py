@@ -76,8 +76,14 @@ class FaultInjector:
 
         An elastic restart may run on fewer GPUs than the schedule was
         written for; faults aimed at hardware the new cluster doesn't
-        have are skipped rather than remapped.
+        have are skipped rather than remapped.  Fleet-scoped kinds
+        (``slot_preempt`` / ``node_down``) target physical fleet slots
+        owned by a :class:`~repro.service.manager.ClusterManager`, not
+        an engine's stages — they are never bound into an attempt (the
+        service plane handles them as lease revocations).
         """
+        if event.kind in F.FLEET_KINDS:
+            return False
         if event.kind == F.HOST_CRASH:
             return event.target < engine.cluster.spec.num_hosts
         if event.kind == F.NIC_DEGRADE:

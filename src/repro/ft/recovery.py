@@ -127,6 +127,13 @@ class FaultedRunResult:
     task_retries: int
     #: concatenated mitigation logs of all attempts (chronological)
     mitigation_actions: List[Dict] = field(default_factory=list)
+    #: structured failure record when the restart budget ran out and the
+    #: caller asked to record rather than raise (``digest`` is None then)
+    failure: Optional[Dict] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
 
     @property
     def final(self) -> PipelineResult:
@@ -266,6 +273,7 @@ def run_with_recovery(
     speed_factors=None,
     restart_speed_factors=None,
     degradation=None,
+    on_exhausted: str = "raise",
 ) -> FaultedRunResult:
     """Run ``steps`` subnets to completion despite ``schedule``.
 
@@ -273,7 +281,19 @@ def run_with_recovery(
     ``restart_speed_factors`` to every restarted attempt (so a job can
     recover onto a slower, faster, or differently-sized replacement
     cluster — under CSP the digest is unchanged either way).
+
+    ``on_exhausted`` decides what an exhausted restart budget does:
+    ``"raise"`` (default) propagates :class:`FaultToleranceError` as
+    before; ``"record"`` returns a partial :class:`FaultedRunResult`
+    whose ``failure`` field is a :func:`~repro.ft.availability.
+    failure_summary` record (``digest`` is None — there are no final
+    weights).  Service runs use ``"record"`` so one doomed tenant fails
+    alone instead of aborting the whole fleet.
     """
+    if on_exhausted not in ("raise", "record"):
+        raise FaultToleranceError(
+            f'on_exhausted must be "raise" or "record", got {on_exhausted!r}'
+        )
     spec = spec or RecoverySpec()
     checkpoint_dir = Path(checkpoint_dir)
     optimizer_factory = optimizer_factory or _default_optimizer
@@ -298,6 +318,36 @@ def run_with_recovery(
     while True:
         attempt += 1
         if attempt - 1 > spec.max_restarts:
+            if on_exhausted == "record":
+                from repro.ft.availability import failure_summary
+
+                last_fault = attempts[-1].interrupt_kind if attempts else None
+                return FaultedRunResult(
+                    system=config.name,
+                    space=space.name,
+                    num_gpus=num_gpus,
+                    final_gpus=attempts[-1].num_gpus if attempts else num_gpus,
+                    digest=None,
+                    losses=losses,
+                    completion_order=completion_order,
+                    makespan_ms=offset,
+                    subnets_completed=len(completion_order),
+                    attempts=attempts,
+                    results=results,
+                    checkpoint_cuts=checkpoint_cuts,
+                    lost_virtual_ms=total_lost,
+                    recovery_latency_ms=total_recovery_latency,
+                    fault_count=total_faults,
+                    task_retries=total_retries,
+                    mitigation_actions=mitigation_actions,
+                    failure=failure_summary(
+                        f"{config.name}:{space.name}",
+                        attempts=attempt - 1,
+                        max_restarts=spec.max_restarts,
+                        lost_virtual_ms=total_lost,
+                        fault=last_fault or "unknown",
+                    ),
+                )
             raise FaultToleranceError(
                 f"restart budget exhausted: {spec.max_restarts} restarts, "
                 f"still at subnet {cursor}/{steps}"

@@ -450,6 +450,43 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             EventField("segments", _INT, "engine incarnations used"),
             stage_scoped=False,
         ),
+        _schema(
+            "lease_revoke",
+            "repro.service.scheduler",
+            "A fleet fault (slot_preempt / node_down) struck a leased "
+            "physical slot: the owning lease left the live set "
+            "mid-segment with the fault recorded as its provenance.",
+            EventField("job", _STR, "tenant holding the revoked lease"),
+            EventField("lease", _INT, "revoked lease id"),
+            EventField("slot", _INT, "physical fleet slot struck"),
+            EventField("fault", _STR, '"slot_preempt" or "node_down"'),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_requeue",
+            "repro.service.scheduler",
+            "A rigid job's segment was aborted by a lease revocation "
+            "(no mid-stream cut to drain to); it re-queues with "
+            "exponential backoff to restart from subnet 0.",
+            EventField("job", _STR, "tenant job name"),
+            EventField("cut", _INT, "stream cursor it restarts from (0)"),
+            EventField("restarts", _INT, "restarts consumed so far"),
+            EventField("backoff_ms", _NUMBER, "requeue backoff applied"),
+            EventField("fault", _STR, "fault kind that forced the abort"),
+            stage_scoped=False,
+        ),
+        _schema(
+            "job_failed",
+            "repro.service.scheduler",
+            "A rigid job exhausted its restart budget under fleet "
+            "faults; that job fails (structured failure record in the "
+            "report) while the fleet keeps running.",
+            EventField("job", _STR, "tenant job name"),
+            EventField("restarts", _INT, "restarts attempted"),
+            EventField("lost_ms", _NUMBER, "virtual work discarded"),
+            EventField("fault", _STR, "fault kind of the final abort"),
+            stage_scoped=False,
+        ),
         # -- serving plane (repro.serving) -----------------------------
         _schema(
             "request_arrive",
@@ -510,6 +547,17 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             "The request's subnet digest was absent from the result "
             "cache; it proceeds to admission and batching.",
             EventField("tier", _STR, 'cache tier ("result")'),
+            stage_scoped=False,
+            subnet_scoped=True,
+        ),
+        _schema(
+            "request_retry",
+            "repro.serving.frontend",
+            "The request's in-flight batch was dissolved by a lease "
+            "revocation; it re-queued at the batcher's front for a "
+            "deterministic retry (shed instead if queue_bound was hit).",
+            EventField("retries", _INT, "retries this request has taken"),
+            EventField("batch", _INT, "ordinal of the dissolved batch"),
             stage_scoped=False,
             subnet_scoped=True,
         ),

@@ -296,12 +296,30 @@ def to_perfetto(
                     "args": attrs,
                 }
             )
+        elif event.kind == "lease_revoke":
+            events.append(
+                {
+                    "name": (
+                        f"lease_revoke {attrs['job']} "
+                        f"slot {attrs['slot']} ({attrs['fault']})"
+                    ),
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _PID_SCHED,
+                    "tid": 0,
+                    "ts": event.time,
+                    "args": attrs,
+                }
+            )
         elif event.kind in (
             "job_submit",
             "job_start",
             "job_resize",
             "job_preempt",
             "job_done",
+            "job_requeue",
+            "job_failed",
         ):
             events.append(
                 {
@@ -319,6 +337,7 @@ def to_perfetto(
             "request_arrive",
             "request_admit",
             "request_shed",
+            "request_retry",
             "cache_hit",
             "cache_miss",
         ):

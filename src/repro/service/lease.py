@@ -55,15 +55,29 @@ class DeviceLease:
         """Whether the manager still considers this lease live."""
         return self.manager.is_active(self)
 
+    @property
+    def revoked_by(self) -> "str | None":
+        """The fault event that revoked this lease, or None."""
+        return self.manager.revocation_of(self)
+
     def materialize(self) -> Cluster:
         """A fresh :class:`Cluster` over the leased slots.
 
         The engine adopts it as its device plane (see
         ``PipelineEngine._resolve_cluster``).  Raises :class:`LeaseError`
-        when the lease has been released — running on returned hardware
-        would break another tenant's exclusivity.
+        when the lease has been released or revoked — running on
+        returned hardware would break another tenant's exclusivity, and
+        running on revoked hardware races the fault; the revocation
+        error names the revoking fault event.
         """
         if not self.active:
+            fault = self.revoked_by
+            if fault is not None:
+                raise LeaseError(
+                    f"lease {self.lease_id} ({self.job}) was revoked by "
+                    f"fault event [{fault}]; cannot materialize devices "
+                    "from it"
+                )
             raise LeaseError(
                 f"lease {self.lease_id} ({self.job}) was already released; "
                 "cannot materialize devices from it"
@@ -71,6 +85,10 @@ class DeviceLease:
         return Cluster(self.spec, devices=build_devices(self.spec, self.slots))
 
     def release(self) -> None:
-        """Return the slots to the fleet (idempotence is an error: a
-        double release means two owners believed they held the slots)."""
+        """Return the slots to the fleet.
+
+        Releasing a *revoked* lease is idempotent (the holder hears
+        about the fault asynchronously); any other double release means
+        two owners believed they held the slots and is an error.
+        """
         self.manager.release(self)

@@ -16,12 +16,25 @@ Invariants the manager enforces (violations raise :class:`LeaseError`):
 * a lease is released exactly once, by the lease that holds the slots;
 * allocation is deterministic — the lowest-numbered free slots win, so
   identical request sequences produce identical grants bit-for-bit.
+
+**Revocation** (the fleet-unreliability path, see
+``docs/FAULT_TOLERANCE.md`` §Fleet-scale faults): a fleet fault —
+``slot_preempt`` or ``node_down`` — calls :meth:`revoke` on a physical
+slot.  If the slot is leased, the owning lease is invalidated
+*mid-segment*: it leaves the live set immediately, the revoking fault is
+recorded as the lease's provenance, the struck slot enters the **down
+pool** (out of service until :meth:`mark_up`), and the lease's surviving
+slots stay reserved until the holder releases them.  A release of a
+revoked lease is **idempotent** — the holder learns about the revocation
+asynchronously (at its next consistent cut), so "I released what was
+already taken from me" is a normal hand-off, not an ownership violation.
+Every other double/foreign release is still a loud :class:`LeaseError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import LeaseError
 from repro.service.lease import DeviceLease
@@ -40,8 +53,13 @@ class ClusterManager:
         self._free: List[int] = list(range(spec.num_gpus))  # kept sorted
         self._live: Dict[int, DeviceLease] = {}
         self._owner: Dict[int, int] = {}  # slot -> lease_id
+        self._down: Dict[int, str] = {}  # slot -> revoking fault label
+        self._revoked: Dict[int, str] = {}  # lease_id -> revoking fault
+        #: slots a revoked lease still reserves until its release
+        self._residual: Dict[int, List[int]] = {}
         self._next_lease_id = 0
         self.total_leases_granted = 0
+        self.total_revocations = 0
 
     # ------------------------------------------------------------------
     @property
@@ -54,10 +72,29 @@ class ClusterManager:
 
     @property
     def leased_gpus(self) -> int:
-        return self.total_gpus - self.available_gpus
+        """Slots held by live leases (revoked residuals excluded)."""
+        return sum(len(lease.slots) for lease in self._live.values())
 
     def free_slots(self) -> Tuple[int, ...]:
         return tuple(self._free)
+
+    def down_slots(self) -> Tuple[int, ...]:
+        """Out-of-service slots, ascending (revoked, not yet marked up)."""
+        return tuple(sorted(self._down))
+
+    def is_down(self, slot: int) -> bool:
+        return slot in self._down
+
+    def residual_slots(self) -> Tuple[int, ...]:
+        """Slots still reserved by revoked-but-unreleased leases."""
+        return tuple(
+            sorted(s for slots in self._residual.values() for s in slots)
+        )
+
+    def revocation_of(self, lease: DeviceLease) -> Optional[str]:
+        """The fault label that revoked ``lease``, or None if never
+        revoked."""
+        return self._revoked.get(lease.lease_id)
 
     def live_leases(self) -> Tuple[DeviceLease, ...]:
         """Live leases in grant order."""
@@ -92,9 +129,10 @@ class ClusterManager:
         if count < 1:
             raise LeaseError(f"{job}: a lease needs at least 1 GPU, got {count}")
         if count > len(self._free):
+            down = f", {len(self._down)} down" if self._down else ""
             raise LeaseError(
                 f"{job}: requested {count} GPUs with only "
-                f"{len(self._free)} free of {self.total_gpus}"
+                f"{len(self._free)} free of {self.total_gpus}{down}"
             )
         slots = tuple(self._free[:count])
         del self._free[:count]
@@ -118,13 +156,28 @@ class ClusterManager:
         return lease
 
     def release(self, lease: DeviceLease) -> None:
-        """Reclaim a lease's slots.  Double releases and foreign leases
-        are ownership violations, not no-ops."""
+        """Reclaim a lease's slots.
+
+        Releasing a **revoked** lease is idempotent: the first call
+        returns the lease's surviving (non-struck) slots to the free
+        pool, later calls are no-ops — the holder learns of the
+        revocation asynchronously, so this hand-off is expected.  Every
+        other double release or foreign lease is an ownership violation
+        and raises :class:`LeaseError` naming the provenance.
+        """
+        fault = self._revoked.get(lease.lease_id)
+        if fault is not None:
+            residual = self._residual.pop(lease.lease_id, [])
+            for slot in residual:
+                del self._owner[slot]
+            self._free.extend(residual)
+            self._free.sort()
+            return
         live = self._live.get(lease.lease_id)
         if live is None or live is not lease:
             raise LeaseError(
-                f"lease {lease.lease_id} ({lease.job}) is not live; "
-                "double release or foreign lease"
+                f"lease {lease.lease_id} ({lease.job}) is not live and was "
+                "never revoked; double release or foreign lease"
             )
         del self._live[lease.lease_id]
         for slot in lease.slots:
@@ -135,4 +188,57 @@ class ClusterManager:
                 )
             del self._owner[slot]
         self._free.extend(lease.slots)
+        self._free.sort()
+
+    # ------------------------------------------------------------------
+    # revocation — the fleet-fault path
+    # ------------------------------------------------------------------
+    def revoke(self, slot: int, fault: str = "fault") -> Optional[DeviceLease]:
+        """Take physical ``slot`` out of service (fleet fault at ``slot``).
+
+        Deterministic state transition, idempotent per slot while down:
+
+        * a **free** slot simply moves to the down pool;
+        * a slot held by a **live** lease invalidates that lease: it
+          leaves the live set, ``fault`` becomes its recorded provenance
+          (see :meth:`revocation_of`), the struck slot goes down, and
+          the lease's other slots stay reserved (``residual``) until the
+          holder's idempotent release — the grace window in which an
+          elastic job drains to its next consistent cut;
+        * a residual slot of an **already-revoked** lease goes down too
+          (storms can strike one lease repeatedly);
+        * an already-down slot is a no-op.
+
+        Returns the lease revoked *by this call*, else None.
+        """
+        if not 0 <= slot < self.total_gpus:
+            raise LeaseError(
+                f"cannot revoke slot {slot}: fleet has slots "
+                f"0..{self.total_gpus - 1}"
+            )
+        if slot in self._down:
+            return None
+        if slot in self._free:
+            self._free.remove(slot)
+            self._down[slot] = fault
+            return None
+        lease_id = self._owner.pop(slot)
+        self._down[slot] = fault
+        lease = self._live.pop(lease_id, None)
+        if lease is None:
+            # the owning lease was already revoked: strike the residual
+            self._residual[lease_id].remove(slot)
+            return None
+        self._revoked[lease_id] = fault
+        self._residual[lease_id] = [s for s in lease.slots if s != slot]
+        self.total_revocations += 1
+        return lease
+
+    def mark_up(self, slot: int) -> None:
+        """Return a down slot to service (outage over).  Idempotent: a
+        slot that is not down (already recovered) is a no-op."""
+        if slot not in self._down:
+            return
+        del self._down[slot]
+        self._free.append(slot)
         self._free.sort()

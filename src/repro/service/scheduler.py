@@ -37,11 +37,30 @@ solo run at the same GPU count, but they cannot be preempted or
 resized.  ``verify_solo`` re-runs every job alone and checks both
 claims.
 
+**Fleet unreliability.**  :meth:`JobScheduler.inject_fleet_faults` arms
+a fleet-scoped :class:`~repro.ft.faults.FaultSchedule`
+(``slot_preempt`` / ``node_down``): each event revokes the struck
+slots' leases through :meth:`~repro.service.manager.ClusterManager.
+revoke` and the scheduler reacts *at the next consistent cut* —
+
+* an **elastic (CSP)** job's in-flight segment drains to its quantum
+  cut (the revocation grace window), its deferred release of the
+  revoked lease is idempotent, and the next ``fair_share`` pass replans
+  it onto the shrunken fleet; the carried plane makes the digest
+  provably unchanged;
+* a **rigid** (non-CSP) job has no mid-stream cut: its segment is
+  aborted and discarded, and the job re-queues with exponential backoff
+  to restart from subnet 0 — until its ``max_restarts`` budget runs
+  out, at which point *that job* fails (status ``failed``, structured
+  failure record in the report) while the fleet keeps running;
+* struck slots sit in the manager's down pool for the fault's
+  ``duration_ms``, then return and trigger a replan.
+
 Everything is deterministic: identical service configs produce
 byte-identical reports (the CI ``service-smoke`` gate ``cmp``'s two
 runs), and the service timeline is itself a schema-validated
-:class:`~repro.sim.trace.ExecutionTrace` carrying the five ``job_*``
-event kinds documented in ``docs/TRACING.md``.
+:class:`~repro.sim.trace.ExecutionTrace` carrying the ``job_*`` and
+``lease_revoke`` event kinds documented in ``docs/TRACING.md``.
 """
 
 from __future__ import annotations
@@ -55,6 +74,8 @@ from repro.config import SystemConfig
 from repro.engines.functional_plane import FunctionalPlane
 from repro.engines.pipeline import PipelineEngine
 from repro.errors import ServiceError
+from repro.ft.availability import failure_summary
+from repro.ft.faults import FLEET_KINDS, NODE_DOWN, FaultEvent, FaultSchedule
 from repro.ft.recovery import (
     build_stream,
     default_optimizer,
@@ -163,6 +184,22 @@ class _Segment:
 
 
 @dataclass
+class _PendingSegment:
+    """An in-flight segment: the engine result is held back until the
+    segment's virtual end — the consistent cut — so a fleet fault can
+    still abort it (rigid jobs) before any state merges."""
+
+    result: object  # PipelineResult
+    lease: object  # DeviceLease
+    end_cursor: int
+    start_ms: float
+    end_ms: float
+    granted: int
+    delay: float
+    handle: object  # cancellable sim-event handle
+
+
+@dataclass
 class _JobState:
     """Scheduler-internal mutable state of one job."""
 
@@ -173,7 +210,7 @@ class _JobState:
     supernet: Supernet = None  # type: ignore[assignment]
     plane: FunctionalPlane = None  # type: ignore[assignment]
     subnets: List[Subnet] = field(default_factory=list)
-    #: pending (pre-arrival) | queued | boundary | running | done
+    #: pending (pre-arrival) | queued | boundary | running | done | failed
     status: str = "pending"
     cursor: int = 0
     #: allocation cap after fleet/space clamping
@@ -189,6 +226,13 @@ class _JobState:
     losses: Dict[int, float] = field(default_factory=dict)
     digest: Optional[str] = None
     segments: List[_Segment] = field(default_factory=list)
+    #: the segment currently in flight (result deferred to its cut)
+    pending: Optional[_PendingSegment] = None
+    #: rigid-restart bookkeeping (fleet revocations)
+    restarts: int = 0
+    not_before: float = 0.0
+    lost_virtual_ms: float = 0.0
+    failure: Optional[Dict] = None
 
     @property
     def preemptible(self) -> bool:
@@ -259,20 +303,43 @@ class JobScheduler:
         quantum: int = 8,
         resize_cost_ms: float = 50.0,
         rewarm: bool = True,
+        max_restarts: int = 3,
+        requeue_backoff_ms: float = 25.0,
+        slots_per_node: int = 4,
     ) -> None:
         if quantum < 1:
             raise ServiceError(f"quantum must be >= 1, got {quantum}")
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if requeue_backoff_ms <= 0:
+            raise ServiceError(
+                f"requeue_backoff_ms must be > 0, got {requeue_backoff_ms}"
+            )
+        if slots_per_node < 1:
+            raise ServiceError(
+                f"slots_per_node must be >= 1, got {slots_per_node}"
+            )
         self.manager = manager
         self.quantum = quantum
         #: virtual downtime charged when a job changes shape at a cut
         #: (checkpoint hand-off + engine respawn, as in RecoverySpec)
         self.resize_cost_ms = resize_cost_ms
         self.rewarm = rewarm
+        #: restart budget for rigid jobs aborted by lease revocation
+        self.max_restarts = max_restarts
+        #: first re-queue backoff; doubles per consecutive restart
+        self.requeue_backoff_ms = requeue_backoff_ms
+        #: contiguous slot-group size a ``node_down`` takes out
+        self.slots_per_node = slots_per_node
         self.trace = ExecutionTrace(num_gpus=manager.total_gpus)
         self.sim = SimulationEngine(trace=self.trace)
         self._jobs: Dict[str, _JobState] = {}
         self._plan_pending = False
         self._ran = False
+        self.fleet_faults = 0
+        self._fleet_mask: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # submission
@@ -350,11 +417,14 @@ class JobScheduler:
             self.sim.schedule(self.sim.now, self._plan, priority=10, label="plan")
 
     def _candidates(self) -> List[_JobState]:
-        """Runnable jobs in precedence order (-priority, arrival)."""
+        """Runnable jobs in precedence order (-priority, arrival).
+        Re-queued rigid jobs sit out their backoff (``not_before``)."""
+        now = self.sim.now
         runnable = [
             state
             for state in self._jobs.values()
             if state.status in ("queued", "boundary")
+            and now >= state.not_before
         ]
         return sorted(runnable, key=lambda s: (-s.spec.priority, s.index))
 
@@ -441,36 +511,53 @@ class JobScheduler:
         if delay > 0.0 and self.rewarm:
             rewarm_prefetch(engine, state.subnets[state.cursor])
         result = engine.run()
-        state.losses.update(result.losses)
         start_ms = now + delay
         end_ms = start_ms + result.makespan_ms
-        state.segments.append(
-            _Segment(
-                start_ms=start_ms,
-                end_ms=end_ms,
-                gpus=granted,
-                slots=lease.slots,
-                cursor_from=state.cursor,
-                cursor_to=end_cursor,
-                makespan_ms=result.makespan_ms,
-                resize_overhead_ms=delay,
-            )
-        )
-        state.gpu_ms += granted * result.makespan_ms
-        state.overhead_ms += delay
         state.status = "running"
         state.ever_ran = True
         state.last_gpus = granted
-        self.sim.schedule(
+        # The result merges only at the segment's virtual end — the
+        # consistent cut.  Until then it is provisional: a fleet fault
+        # can cancel the handle and discard it (rigid abort).
+        handle = self.sim.schedule(
             end_ms,
-            lambda: self._on_segment_done(state.spec.name, end_cursor, lease),
+            lambda: self._on_segment_done(state.spec.name),
             label=f"segment {spec.name}@{end_cursor}",
         )
+        state.pending = _PendingSegment(
+            result=result,
+            lease=lease,
+            end_cursor=end_cursor,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            granted=granted,
+            delay=delay,
+            handle=handle,
+        )
 
-    def _on_segment_done(self, name: str, end_cursor: int, lease) -> None:
+    def _on_segment_done(self, name: str) -> None:
         state = self._jobs[name]
-        lease.release()
-        state.cursor = end_cursor
+        pending = state.pending
+        assert pending is not None
+        state.pending = None
+        pending.lease.release()  # idempotent if the lease was revoked
+        result = pending.result
+        state.losses.update(result.losses)
+        state.segments.append(
+            _Segment(
+                start_ms=pending.start_ms,
+                end_ms=pending.end_ms,
+                gpus=pending.granted,
+                slots=pending.lease.slots,
+                cursor_from=state.cursor,
+                cursor_to=pending.end_cursor,
+                makespan_ms=result.makespan_ms,
+                resize_overhead_ms=pending.delay,
+            )
+        )
+        state.gpu_ms += pending.granted * result.makespan_ms
+        state.overhead_ms += pending.delay
+        state.cursor = pending.end_cursor
         now = self.sim.now
         if state.remaining == 0:
             state.status = "done"
@@ -491,6 +578,150 @@ class JobScheduler:
         self._request_plan()
 
     # ------------------------------------------------------------------
+    # fleet faults (revocation path)
+    # ------------------------------------------------------------------
+    def inject_fleet_faults(
+        self,
+        schedule: FaultSchedule,
+        slots: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Arm a fleet-scoped fault schedule against this service run.
+
+        Every event must be a fleet kind (``slot_preempt`` /
+        ``node_down``); engine-scoped kinds belong in
+        :class:`~repro.ft.injector.FaultInjector`.  ``slots`` optionally
+        restricts which physical slots this scheduler reacts to — the
+        fleet-chaos harness uses it to route one storm across co-located
+        planes (training vs serving) sharing a manager.
+        """
+        if self._ran:
+            raise ServiceError("scheduler already ran; build a fresh one")
+        if slots is not None:
+            self._fleet_mask = frozenset(slots)
+        for event in schedule:
+            if event.kind not in FLEET_KINDS:
+                raise ServiceError(
+                    f"inject_fleet_faults needs fleet kinds "
+                    f"{sorted(FLEET_KINDS)}, got {event.kind!r}"
+                )
+            self.sim.schedule(
+                event.time_ms,
+                lambda event=event: self._on_fleet_fault(event),
+                label=f"fleet {event.kind}@{event.target}",
+            )
+
+    def _fleet_slot_group(self, event: FaultEvent) -> List[int]:
+        """Physical slots an event strikes: one for ``slot_preempt``, a
+        contiguous ``slots_per_node`` group for ``node_down``."""
+        total = self.manager.total_gpus
+        if event.kind == NODE_DOWN:
+            base = event.target * self.slots_per_node
+            return [
+                s for s in range(base, base + self.slots_per_node) if s < total
+            ]
+        return [event.target] if event.target < total else []
+
+    def _on_fleet_fault(self, event: FaultEvent) -> None:
+        now = self.sim.now
+        self.fleet_faults += 1
+        label = f"{event.kind}@{event.target} t={event.time_ms:g}ms"
+        for slot in self._fleet_slot_group(event):
+            if self._fleet_mask is not None and slot not in self._fleet_mask:
+                continue
+            if self.manager.is_down(slot):
+                continue
+            lease = self.manager.revoke(slot, fault=label)
+            self.sim.schedule(
+                now + event.duration_ms,
+                lambda slot=slot: self._on_slot_up(slot),
+                label=f"slot-up {slot}",
+            )
+            if lease is None:
+                continue
+            self.trace.record_event(
+                "lease_revoke",
+                now,
+                job=lease.job,
+                lease=lease.lease_id,
+                slot=slot,
+                fault=event.kind,
+            )
+            state = self._jobs.get(lease.job)
+            if state is None or state.preemptible:
+                # elastic: the in-flight segment drains to its cut, the
+                # deferred release is idempotent, and the next plan pass
+                # reshapes the job onto the shrunken fleet
+                continue
+            self._abort_rigid(state, lease, event.kind, now)
+        self._request_plan()
+
+    def _on_slot_up(self, slot: int) -> None:
+        self.manager.mark_up(slot)
+        self._request_plan()
+
+    def _abort_rigid(
+        self, state: _JobState, lease, kind: str, now: float
+    ) -> None:
+        """A rigid job has no mid-stream cut: discard the in-flight
+        segment, restart from subnet 0 after backoff — or fail the job
+        once its restart budget is spent."""
+        spec = state.spec
+        pending = state.pending
+        if pending is not None:
+            pending.handle.cancel()
+            state.lost_virtual_ms += max(0.0, now - pending.start_ms)
+            state.pending = None
+        lease.release()  # idempotent: frees the revoked lease's residual
+        state.losses.clear()
+        state.cursor = 0
+        state.restarts += 1
+        # restart-from-scratch: fresh weights and plane (a rigid job
+        # checkpoints nothing mid-stream)
+        state.supernet = Supernet(state.space)
+        state.plane = FunctionalPlane(
+            state.supernet,
+            _seed_tree(spec.seed),
+            functional_batch=spec.functional_batch,
+            optimizer=default_optimizer(),
+        )
+        if state.restarts > self.max_restarts:
+            state.status = "failed"
+            state.finished_ms = now
+            state.failure = failure_summary(
+                spec.name,
+                attempts=state.restarts,
+                max_restarts=self.max_restarts,
+                lost_virtual_ms=state.lost_virtual_ms,
+                fault=kind,
+            )
+            self.trace.record_event(
+                "job_failed",
+                now,
+                job=spec.name,
+                restarts=state.restarts,
+                lost_ms=state.lost_virtual_ms,
+                fault=kind,
+            )
+            return
+        backoff = self.requeue_backoff_ms * (2 ** (state.restarts - 1))
+        state.status = "queued"
+        state.not_before = now + backoff
+        self.trace.record_event(
+            "job_requeue",
+            now,
+            job=spec.name,
+            cut=0,
+            restarts=state.restarts,
+            backoff_ms=backoff,
+            fault=kind,
+        )
+        self.sim.schedule(
+            state.not_before,
+            self._request_plan,
+            label=f"requeue {spec.name}",
+        )
+
+    # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
     def run(self) -> Dict:
@@ -500,7 +731,9 @@ class JobScheduler:
         self._ran = True
         self.sim.run()
         unfinished = sorted(
-            name for name, s in self._jobs.items() if s.status != "done"
+            name
+            for name, s in self._jobs.items()
+            if s.status not in ("done", "failed")
         )
         if unfinished:
             raise ServiceError(
@@ -512,7 +745,14 @@ class JobScheduler:
         """Deterministic machine-readable outcome of the whole service
         run (canonical content; serialise with
         :func:`service_report_json`)."""
-        makespan = max(s.finished_ms for s in self._jobs.values())
+        makespan = max(
+            (
+                s.finished_ms
+                for s in self._jobs.values()
+                if s.finished_ms is not None
+            ),
+            default=0.0,
+        )
         jobs = []
         for state in sorted(self._jobs.values(), key=lambda s: s.index):
             spec = state.spec
@@ -525,11 +765,20 @@ class JobScheduler:
                     "priority": spec.priority,
                     "subnets": spec.subnets,
                     "elastic": state.preemptible,
+                    "status": state.status,
                     "submitted_ms": spec.submit_ms,
                     "started_ms": state.started_ms,
                     "finished_ms": state.finished_ms,
-                    "wait_ms": state.started_ms - spec.submit_ms,
-                    "span_ms": state.finished_ms - spec.submit_ms,
+                    "wait_ms": (
+                        state.started_ms - spec.submit_ms
+                        if state.started_ms is not None
+                        else None
+                    ),
+                    "span_ms": (
+                        state.finished_ms - spec.submit_ms
+                        if state.finished_ms is not None
+                        else None
+                    ),
                     "gpu_ms": state.gpu_ms,
                     "overhead_ms": state.overhead_ms,
                     "segments": [
@@ -546,6 +795,9 @@ class JobScheduler:
                     ],
                     "resizes": state.resizes,
                     "preemptions": state.preemptions,
+                    "restarts": state.restarts,
+                    "lost_virtual_ms": state.lost_virtual_ms,
+                    "failure": state.failure,
                     "digest": state.digest,
                     "losses": {
                         str(sid): state.losses[sid]
@@ -564,6 +816,11 @@ class JobScheduler:
                 busy / (self.manager.total_gpus * makespan) if makespan else 0.0
             ),
             "leases_granted": self.manager.total_leases_granted,
+            "revocations": self.manager.total_revocations,
+            "fleet_faults": self.fleet_faults,
+            "failed_jobs": sum(
+                1 for s in self._jobs.values() if s.status == "failed"
+            ),
             "events": len(self.trace.events),
             "jobs": jobs,
         }
@@ -586,6 +843,10 @@ _SERVICE_KEYS = frozenset(
         "resize_cost_ms",
         "verify_solo",
         "jobs",
+        "max_restarts",
+        "requeue_backoff_ms",
+        "slots_per_node",
+        "faults",
     }
 )
 
@@ -616,9 +877,16 @@ def run_service(payload: Mapping, verify_solo: Optional[bool] = None) -> Dict:
         manager,
         quantum=int(payload.get("quantum", 8)),
         resize_cost_ms=float(payload.get("resize_cost_ms", 50.0)),
+        max_restarts=int(payload.get("max_restarts", 3)),
+        requeue_backoff_ms=float(payload.get("requeue_backoff_ms", 25.0)),
+        slots_per_node=int(payload.get("slots_per_node", 4)),
     )
     for entry in payload["jobs"]:
         scheduler.submit(JobSpec.from_payload(entry))
+    if payload.get("faults"):
+        scheduler.inject_fleet_faults(
+            FaultSchedule.from_payload(payload["faults"])
+        )
     report = scheduler.run()
     if verify_solo is None:
         verify_solo = bool(payload.get("verify_solo", False))
@@ -626,6 +894,14 @@ def run_service(payload: Mapping, verify_solo: Optional[bool] = None) -> Dict:
     if verify_solo:
         ok = True
         for entry, job in zip(payload["jobs"], report["jobs"]):
+            if job["status"] == "failed":
+                # a job that exhausted its restart budget produced no
+                # final weights; there is nothing to compare to solo
+                job["solo_gpus"] = None
+                job["solo_digest"] = None
+                job["digest_matches_solo"] = None
+                job["losses_match_solo"] = None
+                continue
             spec = JobSpec.from_payload(entry)
             space = get_search_space(spec.space)
             if spec.space_overrides:
@@ -678,17 +954,19 @@ def format_service_report(report: Mapping) -> str:
     for job in report["jobs"]:
         digest = (job["digest"] or "")[:16] + "…" if job["digest"] else "N/A"
         solo = "-"
-        if report.get("verified"):
+        if report.get("verified") and job.get("status") != "failed":
             solo = (
                 "OK"
                 if job["digest_matches_solo"] and job["losses_match_solo"]
                 else "FAIL"
             )
+        wait = f"{job['wait_ms']:>9.1f}" if job["wait_ms"] is not None else f"{'-':>9s}"
+        span = f"{job['span_ms']:>10.1f}" if job["span_ms"] is not None else f"{'-':>10s}"
         lines.append(
             f"{job['name']:<12s} {job['priority']:>4d} {job['subnets']:>7d} "
             f"{len(job['segments']):>4d} {job['resizes']:>7d} "
-            f"{job['preemptions']:>7d} {job['wait_ms']:>9.1f} "
-            f"{job['span_ms']:>10.1f} {digest:<18s} {solo:<5s}"
+            f"{job['preemptions']:>7d} {wait} "
+            f"{span} {digest:<18s} {solo:<5s}"
         )
     lines.append("")
     lines.append("timeline (segments as [from,to) subnet ranges):")
@@ -702,6 +980,25 @@ def format_service_report(report: Mapping) -> str:
             f"  t={start:9.1f}ms  {name:<12s} [{seg['from']:>3d},{seg['to']:>3d}) "
             f"on {seg['gpus']} GPU(s) {{{slots}}}  ({seg['makespan_ms']:.1f} ms)"
         )
+    if report.get("revocations"):
+        lines.append("")
+        lines.append(
+            f"fleet faults: {report['fleet_faults']} event(s), "
+            f"{report['revocations']} lease revocation(s), "
+            f"{report['failed_jobs']} job(s) failed"
+        )
+    failed = [job for job in report["jobs"] if job.get("status") == "failed"]
+    if failed:
+        lines.append("")
+        lines.append("failed jobs (restart budget exhausted):")
+        for job in failed:
+            failure = job["failure"] or {}
+            lines.append(
+                f"  {job['name']:<12s} {failure.get('attempts', '?')} attempts "
+                f"(budget {failure.get('max_restarts', '?')}), "
+                f"{failure.get('lost_virtual_ms', 0.0):.1f} ms virtual work "
+                f"lost, last fault {failure.get('fault', '?')}"
+            )
     if report.get("verified"):
         lines.append("")
         lines.append(

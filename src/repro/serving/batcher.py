@@ -28,7 +28,7 @@ timer whose request already left is simply stale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.serving.workload import EvalRequest
@@ -103,6 +103,31 @@ class BoundedBatcher:
         self._queued_at.append(now)
         self.admitted += 1
         return True
+
+    def requeue(
+        self, requests: Sequence[EvalRequest], now: float, backlog: int
+    ) -> "Tuple[List[EvalRequest], List[EvalRequest]]":
+        """Re-admit dissolved in-flight requests at the **queue front**.
+
+        Used when a lease revocation dissolves formed batches: their
+        requests retry ahead of later arrivals, in the order given
+        (executing batch first, admission order within a batch) — so the
+        retry order is a pure function of the dissolution instant.  The
+        ``queue_bound`` still applies: requests that no longer fit are
+        shed, returned in the second list.  Retries do not re-count as
+        admissions.
+        """
+        requeued: List[EvalRequest] = []
+        shed: List[EvalRequest] = []
+        for request in requests:
+            if len(self._queue) + backlog >= self.policy.queue_bound:
+                self.shed += 1
+                shed.append(request)
+                continue
+            self._queue.insert(len(requeued), request)
+            self._queued_at.insert(len(requeued), now)
+            requeued.append(request)
+        return requeued, shed
 
     def full(self) -> bool:
         return len(self._queue) >= self.policy.max_batch

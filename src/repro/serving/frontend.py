@@ -30,8 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServiceError
 from repro.core.context_manager import StageContextManager
+from repro.ft.faults import FLEET_KINDS, NODE_DOWN, FaultEvent, FaultSchedule
 from repro.partition.static import static_partition_for_space
 from repro.serving.batcher import BatchPolicy, BoundedBatcher, FormedBatch
 from repro.serving.cache import LayerBlockCache, ResultCache, subnet_digest
@@ -144,6 +145,10 @@ class RequestRecord:
     score_ms: Optional[float] = None  # first compute start on a GPU
     done_ms: Optional[float] = None
     batch_index: Optional[int] = None
+    #: times this request's in-flight batch was dissolved by a lease
+    #: revocation and the request re-queued (SLO accounting separates
+    #: retried requests from fresh ones)
+    retries: int = 0
 
     @property
     def latency_ms(self) -> Optional[float]:
@@ -160,6 +165,7 @@ class ServingEngine:
         spec: ServingSpec,
         manager: Optional[ClusterManager] = None,
         cache_enabled: bool = True,
+        slots_per_node: int = 4,
     ) -> None:
         self.spec = spec
         space = get_search_space(spec.space)
@@ -170,18 +176,50 @@ class ServingEngine:
         self.manager = manager or ClusterManager(
             ClusterSpec(num_gpus=spec.total_gpus)
         )
-        self.lease = self.manager.acquire("serving", spec.num_gpus)
-        self.cluster = self.lease.materialize()
         self.stages = spec.num_gpus
+        self.slots_per_node = slots_per_node
         self.trace = ExecutionTrace(num_gpus=self.stages)
         self.sim = SimulationEngine(trace=self.trace)
         self.cache_enabled = cache_enabled
+        self._partition = static_partition_for_space(
+            self.supernet, self.stages
+        )
+        self.result_cache = ResultCache(
+            spec.result_entries if cache_enabled else 0
+        )
+        self.batcher = BoundedBatcher(spec.policy)
+        self.records: List[RequestRecord] = []
+        self._executor_queue: List[FormedBatch] = []
+        self._executor_free = 0.0
+        self._executor_busy = False
+        self._executor_batch: Optional[FormedBatch] = None
+        self._executor_handle = None
+        self._backlog = 0  # admitted requests formed but not finished
+        # fleet-fault bookkeeping
+        self._ran = False
+        self._fault_mask: "Optional[frozenset]" = None
+        self.revocations = 0
+        #: [start, end] spans during which the tenant held no lease
+        self.outage_windows: List = []
+        self._outage_start: Optional[float] = None
+        self._prior_layer_hits = 0
+        self._prior_layer_misses = 0
+        self._prior_fetch_bytes = 0
+        self._prior_peak_resident = 0
+        self.lease = None
+        self._acquire_data_plane()
 
-        partition = static_partition_for_space(self.supernet, self.stages)
+    def _acquire_data_plane(self) -> None:
+        """Lease GPUs and build the per-lease state: cluster view, stage
+        contexts, layer cache.  Called at construction and again after a
+        revocation once enough slots are back up — the rebuilt layer
+        cache starts **cold** (new devices hold nothing)."""
+        self.lease = self.manager.acquire("serving", self.stages)
+        self.cluster = self.lease.materialize()
         # Same sizing rule as the training engine: ``cache_subnets``
         # stage-shares of the expected subnet parameter footprint.
         share = self.supernet.expected_subnet_param_count() * 4 / self.stages
-        capacity = int(spec.cache_subnets * share)
+        capacity = int(self.spec.cache_subnets * share)
         contexts = [
             StageContextManager(
                 stage,
@@ -193,17 +231,35 @@ class ServingEngine:
             for stage in range(self.stages)
         ]
         self.layer_cache = LayerBlockCache(
-            contexts, partition, enabled=cache_enabled
+            contexts, self._partition, enabled=self.cache_enabled
         )
-        self.result_cache = ResultCache(
-            spec.result_entries if cache_enabled else 0
+
+    def _retire_layer_cache(self) -> None:
+        """Fold the doomed incarnation's cache counters into the prior
+        totals so the final report accounts for every copy made."""
+        self._prior_layer_hits += self.layer_cache.hits()
+        self._prior_layer_misses += self.layer_cache.misses()
+        stats = self.layer_cache.stats()
+        self._prior_fetch_bytes += stats["fetch_bytes"]
+        self._prior_peak_resident = max(
+            self._prior_peak_resident, stats["peak_resident_bytes"]
         )
-        self.batcher = BoundedBatcher(spec.policy)
-        self.records: List[RequestRecord] = []
-        self._executor_queue: List[FormedBatch] = []
-        self._executor_free = 0.0
-        self._executor_busy = False
-        self._backlog = 0  # admitted requests formed but not finished
+
+    def layer_cache_hits(self) -> int:
+        return self._prior_layer_hits + self.layer_cache.hits()
+
+    def layer_cache_misses(self) -> int:
+        return self._prior_layer_misses + self.layer_cache.misses()
+
+    def layer_cache_stats(self) -> Dict:
+        stats = dict(self.layer_cache.stats())
+        stats["hits"] = self.layer_cache_hits()
+        stats["misses"] = self.layer_cache_misses()
+        stats["fetch_bytes"] += self._prior_fetch_bytes
+        stats["peak_resident_bytes"] = max(
+            stats["peak_resident_bytes"], self._prior_peak_resident
+        )
+        return stats
 
     # ------------------------------------------------------------------
     # request lifecycle
@@ -284,7 +340,7 @@ class ServingEngine:
             record = self.records[request.request_id]
             record.batch_ms = now
             record.batch_index = batch.index
-        if self.cache_enabled:
+        if self.cache_enabled and self.lease is not None:
             # Warm the stage caches while the executor finishes earlier
             # batches: copies overlap compute on the async copy engines.
             for request in batch.requests:
@@ -296,6 +352,8 @@ class ServingEngine:
     # batch scoring (forward-only pipeline over the static partition)
     # ------------------------------------------------------------------
     def _maybe_start_executor(self) -> None:
+        if self.lease is None:
+            return  # revoked: formed batches wait for the re-acquire
         if self._executor_busy or not self._executor_queue:
             return
         batch = self._executor_queue.pop(0)
@@ -303,7 +361,8 @@ class ServingEngine:
         done = self._score_batch(batch, start)
         self._executor_busy = True
         self._executor_free = done
-        self.sim.schedule(
+        self._executor_batch = batch
+        self._executor_handle = self.sim.schedule(
             done,
             lambda b=batch: self._on_batch_done(b),
             priority=5,
@@ -347,10 +406,176 @@ class ServingEngine:
             self.result_cache.put(digest, _score_of(digest))
         self.layer_cache.after_batch(now)
         self._executor_busy = False
+        self._executor_batch = None
+        self._executor_handle = None
         self._maybe_start_executor()
+        self._maybe_close_outage()
+
+    # ------------------------------------------------------------------
+    # fleet faults (lease revocation + deterministic retry)
+    # ------------------------------------------------------------------
+    def inject_fleet_faults(
+        self, schedule: FaultSchedule, slots=None
+    ) -> None:
+        """Arm a fleet-scoped fault schedule against this serving run.
+
+        Mirrors :meth:`repro.service.scheduler.JobScheduler.
+        inject_fleet_faults`; ``slots`` optionally restricts which
+        physical slots this engine reacts to (the fleet-chaos harness
+        routes one storm across co-located planes with disjoint masks).
+        """
+        if self._ran:
+            raise ServiceError(
+                "serving engine already ran; build a fresh one to arm faults"
+            )
+        if slots is not None:
+            self._fault_mask = frozenset(slots)
+        for event in schedule:
+            if event.kind not in FLEET_KINDS:
+                raise ConfigError(
+                    f"inject_fleet_faults needs fleet kinds "
+                    f"{sorted(FLEET_KINDS)}, got {event.kind!r}"
+                )
+            self.sim.schedule(
+                event.time_ms,
+                lambda event=event: self._on_fleet_fault(event),
+                label=f"fleet {event.kind}@{event.target}",
+            )
+
+    def _fleet_slot_group(self, event: FaultEvent) -> List[int]:
+        total = self.manager.total_gpus
+        if event.kind == NODE_DOWN:
+            base = event.target * self.slots_per_node
+            return [
+                s for s in range(base, base + self.slots_per_node) if s < total
+            ]
+        return [event.target] if event.target < total else []
+
+    def _on_fleet_fault(self, event: FaultEvent) -> None:
+        now = self.sim.now
+        label = f"{event.kind}@{event.target} t={event.time_ms:g}ms"
+        for slot in self._fleet_slot_group(event):
+            if self._fault_mask is not None and slot not in self._fault_mask:
+                continue
+            if self.manager.is_down(slot):
+                continue
+            lease = self.manager.revoke(slot, fault=label)
+            self.sim.schedule(
+                now + event.duration_ms,
+                lambda slot=slot: self._on_slot_up(slot),
+                label=f"slot-up {slot}",
+            )
+            if lease is None:
+                continue
+            if self.lease is not None and lease.lease_id == self.lease.lease_id:
+                self._on_lease_revoked(slot, event.kind)
+
+    def _on_lease_revoked(self, slot: int, kind: str) -> None:
+        """The serving lease was struck: dissolve in-flight batches and
+        re-queue their requests at the batcher front (deterministic
+        retry order: executing batch first, then executor-queue order,
+        admission order within a batch)."""
+        now = self.sim.now
+        self.revocations += 1
+        assert self.lease is not None
+        self.trace.record_event(
+            "lease_revoke",
+            now,
+            stage=-1,
+            job="serving",
+            lease=self.lease.lease_id,
+            slot=slot,
+            fault=kind,
+        )
+        dissolved: List[FormedBatch] = []
+        if self._executor_batch is not None:
+            self._executor_handle.cancel()
+            dissolved.append(self._executor_batch)
+            self._executor_batch = None
+            self._executor_handle = None
+            self._executor_busy = False
+        dissolved.extend(self._executor_queue)
+        self._executor_queue = []
+        self._executor_free = now
+        # the executing batch's records were pre-timestamped at executor
+        # start; those results never happened
+        retrying: List = []
+        for batch in dissolved:
+            self._backlog -= len(batch)
+            for request in batch.requests:
+                record = self.records[request.request_id]
+                record.outcome = "pending"
+                record.batch_ms = None
+                record.score_ms = None
+                record.done_ms = None
+                record.batch_index = None
+                record.retries += 1
+                self._record_request_event(
+                    "request_retry",
+                    now,
+                    request.request_id,
+                    retries=record.retries,
+                    batch=batch.index,
+                )
+                retrying.append(request)
+        self._retire_layer_cache()
+        self.lease.release()  # idempotent: frees the revoked residual
+        self.lease = None
+        if self._outage_start is None:  # merge back-to-back revocations
+            self._outage_start = now
+        if not retrying:
+            return
+        requeued, shed = self.batcher.requeue(retrying, now, self._backlog)
+        for request in shed:
+            record = self.records[request.request_id]
+            record.outcome = "shed"
+            self._record_request_event(
+                "request_shed",
+                now,
+                request.request_id,
+                queue_depth=self.batcher.depth() + self._backlog,
+            )
+        for request in requeued:
+            self.sim.schedule(
+                now + self.spec.policy.max_linger_ms,
+                lambda rid=request.request_id: self._on_linger(rid),
+                priority=5,
+                label="serving-linger",
+            )
+        while True:
+            batch = self.batcher.flush_full(now)
+            if batch is None:
+                break
+            self._on_batch(batch)
+
+    def _on_slot_up(self, slot: int) -> None:
+        self.manager.mark_up(slot)
+        if (
+            self.lease is None
+            and self.manager.available_gpus >= self.stages
+        ):
+            self._acquire_data_plane()
+            self._maybe_start_executor()
+            self._maybe_close_outage()
+
+    def _maybe_close_outage(self) -> None:
+        """An outage's *impact* window closes when the backlog it built
+        has drained (executor idle again), not when the lease returns:
+        fresh requests queued behind the retried backlog are outage
+        casualties too, and the SLO accounting must see them inside the
+        window."""
+        if (
+            self.lease is not None
+            and self._outage_start is not None
+            and not self._executor_busy
+            and not self._executor_queue
+        ):
+            self.outage_windows.append((self._outage_start, self.sim.now))
+            self._outage_start = None
 
     # ------------------------------------------------------------------
     def run(self) -> "ServingResult":
+        self._ran = True
         requests = generate_requests(self.spec.workload, self.space)
         self.records = [
             RequestRecord(request_id=r.request_id, arrival_ms=r.arrival_ms)
@@ -364,7 +589,12 @@ class ServingEngine:
                 label="serving-arrival",
             )
         self.sim.run()
-        self.lease.release()
+        if self._outage_start is not None:  # never re-acquired
+            self.outage_windows.append((self._outage_start, self.sim.now))
+            self._outage_start = None
+        if self.lease is not None:
+            self.lease.release()
+            self.lease = None
         return ServingResult(self)
 
 
@@ -388,6 +618,11 @@ class ServingResult:
         self.result_cache = engine.result_cache
         self.layer_cache = engine.layer_cache
         self.batches_formed = engine.batcher.batches_formed
+        self.revocations = engine.revocations
+        self.outage_windows = list(engine.outage_windows)
+        self._layer_hits = engine.layer_cache_hits()
+        self._layer_misses = engine.layer_cache_misses()
+        self._layer_stats = engine.layer_cache_stats()
         done_times = [
             r.done_ms for r in self.records if r.done_ms is not None
         ]
@@ -397,10 +632,15 @@ class ServingResult:
         completed = [r for r in self.records if r.done_ms is not None]
         shed = [r for r in self.records if r.outcome == "shed"]
         latencies = [r.latency_ms for r in completed]
+        # SLO attainment is computed over requests that never had a
+        # batch dissolved under them; retried requests are accounted
+        # separately (a revocation is not a scheduling-policy failure)
+        fresh_lat = [r.latency_ms for r in completed if r.retries == 0]
+        retried_lat = [r.latency_ms for r in completed if r.retries > 0]
         result_hits = self.result_cache.hits
         result_total = self.result_cache.hits + self.result_cache.misses
-        layer_hits = self.layer_cache.hits()
-        layer_total = layer_hits + self.layer_cache.misses()
+        layer_hits = self._layer_hits
+        layer_total = layer_hits + self._layer_misses
         combined_total = result_total + layer_total
         slo = self.spec.slo_ms
         return {
@@ -417,10 +657,22 @@ class ServingResult:
             ),
             "slo_ms": slo,
             "slo_attainment": (
-                sum(1 for lat in latencies if lat <= slo) / len(latencies)
-                if latencies
+                sum(1 for lat in fresh_lat if lat <= slo) / len(fresh_lat)
+                if fresh_lat
                 else 0.0
             ),
+            "revocations": self.revocations,
+            "retries": sum(r.retries for r in self.records),
+            "retried": {
+                "completed": len(retried_lat),
+                "slo_attainment": (
+                    sum(1 for lat in retried_lat if lat <= slo)
+                    / len(retried_lat)
+                    if retried_lat
+                    else 0.0
+                ),
+                "latency_ms": latency_stats(retried_lat),
+            },
             "result_hit_rate": (
                 result_hits / result_total if result_total else 0.0
             ),
@@ -436,7 +688,7 @@ class ServingResult:
                 "result_hits": result_hits,
                 "result_misses": self.result_cache.misses,
                 "result_evictions": self.result_cache.evictions,
-                **self.layer_cache.stats(),
+                **self._layer_stats,
             },
             "makespan_ms": self.makespan_ms,
         }

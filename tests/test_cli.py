@@ -128,3 +128,72 @@ def test_chaos_command(tmp_path, capsys):
 def test_chaos_command_requires_config():
     with pytest.raises(SystemExit):
         main(["chaos"])
+
+
+def test_chaos_fleet_command(tmp_path, capsys):
+    import json
+
+    config = tmp_path / "fleet.json"
+    config.write_text(
+        json.dumps(
+            {
+                "fleet_slots": [6],
+                "scenarios": 1,
+                "seed": 7,
+                "storm_mtbf_fraction": 0.3,
+                "slots_per_node": 2,
+                "quantum": 4,
+                "resize_cost_ms": 20.0,
+                "max_restarts": 3,
+                "requeue_backoff_ms": 20.0,
+                "serving": {
+                    "space": "NLP.c3",
+                    "space_overrides": {
+                        "num_blocks": 8,
+                        "functional_width": 16,
+                    },
+                    "num_gpus": 2,
+                    "eval_batch": 4,
+                    "requests": 30,
+                    "rate_rps": 60.0,
+                    "seed": 2022,
+                    "max_batch": 4,
+                    "queue_bound": 12,
+                    "slo_ms": 400.0,
+                },
+                "jobs": [
+                    {
+                        "name": "elastic",
+                        "space": "NLP.c3",
+                        "space_overrides": {
+                            "num_blocks": 8,
+                            "functional_width": 16,
+                        },
+                        "system": "NASPipe",
+                        "subnets": 6,
+                        "seed": 2022,
+                        "min_gpus": 2,
+                        "max_gpus": 4,
+                    }
+                ],
+            }
+        )
+    )
+    out_json = tmp_path / "fleet_report.json"
+    assert main(["chaos-fleet", str(config), "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet chaos sweep" in out
+    assert "PASS" in out
+    report = json.loads(out_json.read_text())
+    assert report["ok"] is True
+    assert report["total_scenarios"] == 1
+    # the canonical file must be byte-stable across runs
+    first = out_json.read_text()
+    assert main(["chaos-fleet", str(config), "--json", str(out_json)]) == 0
+    capsys.readouterr()
+    assert out_json.read_text() == first
+
+
+def test_chaos_fleet_command_requires_config():
+    with pytest.raises(SystemExit):
+        main(["chaos-fleet"])

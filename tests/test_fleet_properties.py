@@ -1,0 +1,148 @@
+"""Property-based fleet unreliability: no storm schedule — whatever its
+shape — may deadlock the scheduler, leak a lease, or make the serving
+retry path non-deterministic."""
+
+import json
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.ft import FaultEvent, FaultSchedule
+from repro.obs.events import validate_trace
+from repro.service import ClusterManager, JobScheduler, JobSpec
+from repro.serving import ServingEngine, ServingSpec
+from repro.sim.cluster import ClusterSpec
+
+OVERRIDES = {"num_blocks": 8, "functional_width": 16}
+FLEET = 6
+
+SERVING_CONFIG = {
+    "space": "NLP.c3",
+    "space_overrides": OVERRIDES,
+    "num_gpus": 2,
+    "total_gpus": 4,
+    "eval_batch": 4,
+    "requests": 30,
+    "arrival": "poisson",
+    "rate_rps": 60.0,
+    "skew": 0.7,
+    "hot_prefixes": 3,
+    "prefix_blocks": 4,
+    "repeat_fraction": 0.3,
+    "seed": 2022,
+    "max_batch": 4,
+    "max_linger_ms": 5.0,
+    "queue_bound": 12,
+    "result_entries": 64,
+    "cache_subnets": 3.0,
+    "slo_ms": 400.0,
+}
+
+
+@st.composite
+def storms(draw, fleet_slots=FLEET, slots_per_node=2):
+    """1-5 fleet events at arbitrary times, targets and outages."""
+    nodes = (fleet_slots + slots_per_node - 1) // slots_per_node
+    events = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        kind = draw(st.sampled_from(["slot_preempt", "node_down"]))
+        events.append(
+            FaultEvent(
+                kind,
+                draw(
+                    st.floats(
+                        min_value=0.0, max_value=2500.0, allow_nan=False
+                    )
+                ),
+                target=draw(
+                    st.integers(
+                        min_value=0,
+                        max_value=(
+                            nodes - 1
+                            if kind == "node_down"
+                            else fleet_slots - 1
+                        ),
+                    )
+                ),
+                duration_ms=draw(
+                    st.floats(
+                        min_value=20.0, max_value=400.0, allow_nan=False
+                    )
+                ),
+            )
+        )
+    return FaultSchedule(events)
+
+
+def _jobs():
+    return [
+        JobSpec(
+            name="elastic",
+            space="NLP.c3",
+            space_overrides=OVERRIDES,
+            system="NASPipe",
+            subnets=6,
+            seed=2022,
+            priority=2,
+            min_gpus=2,
+            max_gpus=4,
+        ),
+        JobSpec(
+            name="rigid",
+            space="CV.c3",
+            space_overrides=OVERRIDES,
+            system="PipeDream",
+            subnets=4,
+            seed=7,
+            min_gpus=2,
+            max_gpus=2,
+        ),
+    ]
+
+
+@settings(max_examples=8, deadline=None)
+@given(storm=storms())
+def test_no_storm_deadlocks_the_scheduler_or_leaks_a_lease(storm):
+    manager = ClusterManager(ClusterSpec(num_gpus=FLEET))
+    scheduler = JobScheduler(
+        manager,
+        quantum=3,
+        resize_cost_ms=15.0,
+        max_restarts=2,
+        requeue_backoff_ms=10.0,
+        slots_per_node=2,
+    )
+    for spec in _jobs():
+        scheduler.submit(spec)
+    scheduler.inject_fleet_faults(storm)
+    report = scheduler.run()  # must quiesce: no ServiceError, no hang
+    for job in report["jobs"]:
+        assert job["status"] in ("done", "failed"), job["name"]
+        if job["status"] == "failed":
+            assert job["failure"] is not None
+    # the fleet ends clean whatever the storm did
+    assert manager.leased_gpus == 0
+    assert manager.residual_slots() == ()
+    assert manager.down_slots() == ()
+    assert manager.free_slots() == tuple(range(FLEET))
+    assert validate_trace(scheduler.trace) == []
+
+
+@settings(max_examples=6, deadline=None)
+@given(storm=storms(fleet_slots=4, slots_per_node=2))
+def test_serving_retry_is_byte_identical_across_runs(storm):
+    reports = []
+    for _ in range(2):
+        engine = ServingEngine(
+            ServingSpec.from_payload(SERVING_CONFIG), slots_per_node=2
+        )
+        engine.inject_fleet_faults(storm)
+        result = engine.run()
+        # no request may be lost, whatever the storm dissolved
+        assert all(r.outcome != "pending" for r in result.records)
+        reports.append(
+            json.dumps(result.scenario_report(), sort_keys=True)
+        )
+    assert reports[0] == reports[1]
