@@ -1,6 +1,6 @@
 # Convenience targets (see README for the underlying commands).
 
-.PHONY: install test bench bench-scheduler bench-obs bench-serving obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke chaos-fleet serve-demo serving-demo clean
+.PHONY: install test bench bench-scheduler bench-obs bench-serving obs-baseline experiments repro-check demo trace-demo analyze-demo faults-demo chaos-smoke chaos-fleet serve-demo serving-demo monitor-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -64,6 +64,12 @@ serve-demo:
 
 serving-demo:
 	python -m repro bench-serving examples/serving_demo.json
+
+monitor-demo:
+	python -m repro monitor examples/serve_demo.json \
+		--out monitor_demo.series.jsonl \
+		--prom monitor_demo.metrics.prom \
+		--json monitor_demo.report.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -699,6 +699,107 @@ def _bench_serving(args) -> str:
     return "\n".join(out)
 
 
+def _monitor(args) -> str:
+    """``naspipe monitor <config>``: run a plane with the live telemetry
+    hub armed — deterministic metrics scraping on the virtual clock,
+    alert-rule evaluation at scrape points, per-tenant usage metering —
+    and print a scrape-by-scrape tail plus the final alert and metering
+    reports.
+
+    The config is a **service** config (has ``"jobs"``, e.g.
+    ``examples/serve_demo.json``) or a **serving** config (has
+    ``"space"``, e.g. ``examples/serving_demo.json``).  Flags:
+
+    * ``--rules PATH`` — JSON alert rules (default: the built-in rules,
+      silent on healthy runs; see ``docs/TELEMETRY.md``);
+    * ``--interval MS`` — scrape interval in virtual ms (default 100);
+    * ``--out PATH`` — write the scrape series as canonical JSONL;
+    * ``--prom PATH`` — write the final Prometheus text exposition;
+    * ``--json PATH`` — write the monitor report (alerts + metering).
+
+    Every output is byte-identical across identical runs — the
+    ``monitor-smoke`` CI job runs this twice and ``cmp``'s the files —
+    and arming the hub changes nothing: engine decisions, digests and
+    reports are bitwise the same with telemetry on or off.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.telemetry import TelemetryHub
+    from repro.viz import utilization_sparklines
+
+    config_path = Path(args.config)
+    payload = json.loads(config_path.read_text())
+    interval = float(getattr(args, "interval", None) or 100.0)
+    hub = TelemetryHub(scrape_interval_ms=interval, rules=args.rules)
+
+    if "jobs" in payload:
+        from repro.service import run_service
+
+        run_service(payload, telemetry=hub)
+        trace = None  # the service trace has no busy intervals to plot
+    else:
+        from repro.serving.frontend import ServingEngine, ServingSpec
+
+        result = ServingEngine(
+            ServingSpec.from_payload(payload), telemetry=hub
+        ).run()
+        trace = result.trace
+
+    alerts = hub.alert_report()
+    metering = hub.metering_report()
+    lines = [
+        f"monitor: {len(hub.scraper.samples)} scrape(s) every "
+        f"{interval:g} virtual ms ({config_path.name})",
+        "",
+    ]
+    lines.extend(hub.scraper.tail_lines())
+    if trace is not None and trace.intervals:
+        lines.append("")
+        lines.extend(utilization_sparklines(trace))
+    lines.append("")
+    if alerts["log"]:
+        lines.append(f"alerts ({alerts['firings']} firing(s)):")
+        for entry in alerts["log"]:
+            resolved = (
+                f"resolved at {entry['resolved_at_ms']:g} ms"
+                if entry["resolved_at_ms"] is not None
+                else "still firing at quiescence"
+            )
+            lines.append(
+                f"  {entry['rule']} [{entry['kind']}] fired at "
+                f"{entry['fired_at_ms']:g} ms, {resolved}"
+            )
+    else:
+        lines.append(f"alerts: none fired ({len(alerts['rules'])} rule(s))")
+    lines.append("")
+    lines.append(hub.meter.format_report(metering))
+
+    if args.out:
+        series_path = Path(args.out)
+        series_path.write_text(hub.scraper.series_jsonl())
+        lines.append(f"\n[scrape series written to {series_path}]")
+    if getattr(args, "prom", None):
+        prom_path = Path(args.prom)
+        prom_path.write_text(hub.scraper.prometheus_text())
+        lines.append(f"[prometheus exposition written to {prom_path}]")
+    if args.json:
+        report = {
+            "schema": 1,
+            "scrape_interval_ms": interval,
+            "scrapes": len(hub.scraper.samples),
+            "alerts": alerts,
+            "metering": metering,
+            "peak_queue_depth": hub.peak_queue_depth(),
+        }
+        json_path = Path(args.json)
+        json_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        lines.append(f"[monitor report written to {json_path}]")
+    return "\n".join(lines)
+
+
 def _demo(seed: int) -> str:
     """A guided tour: run NASPipe on a short stream, narrate the first
     events, then show the schedule as a Gantt chart and sparklines."""
@@ -802,6 +903,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "chaos-fleet",
             "serve",
             "bench-serving",
+            "monitor",
             "all",
             "list",
         ),
@@ -814,7 +916,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "against a multi-tenant fleet and checks the recovery "
         "invariants; 'serve' runs a multi-tenant job mix on a "
         "shared fleet; 'bench-serving' runs the subnet-evaluation "
-        "serving benchmark with latency percentiles and SLO stats)",
+        "serving benchmark with latency percentiles and SLO stats; "
+        "'monitor' runs a service/serving config with the live "
+        "telemetry plane armed — deterministic scrapes, alerts and "
+        "per-tenant usage metering)",
     )
     parser.add_argument(
         "config",
@@ -934,6 +1039,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify_solo)",
     )
     parser.add_argument(
+        "--rules",
+        metavar="PATH",
+        help="monitor: JSON alert-rule file (default: built-in rules, "
+        "silent on healthy runs — see docs/TELEMETRY.md)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        metavar="MS",
+        help="monitor: scrape interval in virtual milliseconds "
+        "(default 100)",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="PATH",
+        help="monitor: write the final Prometheus text exposition here "
+        "(virtual timestamps omitted; byte-deterministic)",
+    )
+    parser.add_argument(
         "--fail-on-regression",
         type=float,
         metavar="PCT",
@@ -956,6 +1080,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "chaos-fleet",
                     "serve",
                     "bench-serving",
+                    "monitor",
                 )
             )
         )
@@ -1007,6 +1132,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.config:
             parser.error("bench-serving requires a JSON serving config path")
         print(_bench_serving(args))
+        return 0
+
+    if args.experiment == "monitor":
+        if not args.config:
+            parser.error("monitor requires a JSON service/serving config path")
+        print(_monitor(args))
         return 0
 
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -189,6 +189,17 @@ class PipelineResult:
 
         return what_if_report(self.trace)
 
+    def telemetry(self, rules=None):
+        """Post-hoc :class:`~repro.obs.telemetry.TelemetryHub` for this
+        run: the trace's events replayed through the telemetry listener,
+        giving the identical final instrument state a live hub would
+        hold (the listener is a pure function of the event stream).  See
+        ``docs/TELEMETRY.md``.
+        """
+        from repro.obs.telemetry import replay_telemetry
+
+        return replay_telemetry(self.trace, rules=rules)
+
 
 class PipelineEngine:
     """Runs one (system, space, cluster, stream) combination."""
@@ -205,6 +216,7 @@ class PipelineEngine:
         faults=None,
         checkpoints=None,
         degradation=None,
+        telemetry=None,
     ) -> None:
         self.supernet = supernet
         self.space = supernet.space
@@ -235,6 +247,12 @@ class PipelineEngine:
         #: on task starts/finishes and subnet completions — the hook for
         #: live monitors, progress bars, or custom trace sinks.
         self.event_listener = event_listener
+        #: optional :class:`~repro.obs.telemetry.TelemetryHub` — a pure
+        #: observer (trace listener + scrape events); arming it changes
+        #: no engine decision, so digests stay bitwise identical
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_engine(self)
         self.functional = functional
         self.policy = make_policy(config, self.stages)
 
@@ -928,6 +946,8 @@ class PipelineEngine:
                     },
                     blocked=self._blocked_edges_dump(),
                 )
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.sim.now)
         return self._result()
 
     def _blocked_edges_dump(self) -> Dict[int, Dict]:

@@ -90,10 +90,17 @@ _FLEET_KEYS = frozenset(
 
 
 def _build_planes(
-    payload: Mapping, fleet_slots: int
+    payload: Mapping, fleet_slots: int, serving_telemetry=None
 ) -> Tuple[ClusterManager, "ServingEngine", JobScheduler]:
     """One co-tenant deployment: shared manager, serving tenant leasing
-    the lowest slots, training scheduler over the rest."""
+    the lowest slots, training scheduler over the rest.
+
+    ``serving_telemetry`` optionally arms a
+    :class:`~repro.obs.telemetry.TelemetryHub` on the **serving** plane
+    (scrapes live on one virtual clock, so a hub watches one plane; the
+    shared manager's usage observer still shows it every fleet slot
+    transition, including strikes routed to the training plane).
+    """
     from repro.service.manager import ClusterManager
     from repro.service.scheduler import JobScheduler, JobSpec
     from repro.serving.frontend import ServingEngine, ServingSpec
@@ -104,7 +111,10 @@ def _build_planes(
         {**payload["serving"], "total_gpus": fleet_slots}
     )
     serving = ServingEngine(
-        serving_spec, manager=manager, slots_per_node=slots_per_node
+        serving_spec,
+        manager=manager,
+        slots_per_node=slots_per_node,
+        telemetry=serving_telemetry,
     )
     scheduler = JobScheduler(
         manager,
@@ -263,6 +273,7 @@ def run_fleet_scenario(
     storm_seed: int,
     horizon_ms: float,
     solo_cache: Optional[Dict] = None,
+    serving_telemetry=None,
 ) -> Dict:
     """One storm seed against one fleet size; returns a JSON-stable row
     with the invariant verdicts."""
@@ -284,7 +295,9 @@ def run_fleet_scenario(
     for event in storm:
         kind_counts[event.kind] = kind_counts.get(event.kind, 0) + 1
 
-    manager, serving, scheduler = _build_planes(payload, fleet_slots)
+    manager, serving, scheduler = _build_planes(
+        payload, fleet_slots, serving_telemetry=serving_telemetry
+    )
     serving_slots = frozenset(serving.lease.slots)
     training_slots = frozenset(range(fleet_slots)) - serving_slots
     scheduler.inject_fleet_faults(storm, slots=training_slots)

@@ -126,7 +126,7 @@ def run_record(
         sha = git_sha
     else:
         sha = None
-    return {
+    record = {
         "schema": 1,
         "run_id": run_id,
         "config_digest": config_digest(identity),
@@ -134,6 +134,15 @@ def run_record(
         "summary": summary,
         "critical_path": breakdown,
     }
+    # Compact telemetry block (see docs/TELEMETRY.md): derived by
+    # replaying the trace through the telemetry listener, and — like
+    # git_sha — excluded from run_id (the body above is digested before
+    # this key exists), so records from pre-telemetry registries still
+    # resolve by the same ids.
+    telemetry = getattr(result, "telemetry", None)
+    if callable(telemetry):
+        record["telemetry"] = telemetry().compact_block()
+    return record
 
 
 def append_run(
@@ -216,6 +225,9 @@ def compare_records(
         resource: _delta(float(cp_a[resource]), float(cp_b[resource]))
         for resource in sorted(set(cp_a) & set(cp_b))
     }
+    telemetry = _compare_telemetry(
+        a.get("telemetry") or {}, b.get("telemetry") or {}
+    )
     return {
         "schema": 1,
         "run_a": {
@@ -231,7 +243,32 @@ def compare_records(
         "same_config": a.get("config_digest") == b.get("config_digest"),
         "fields": fields,
         "critical_path": critical_path,
+        "telemetry": telemetry,
     }
+
+
+def _compare_telemetry(a: Dict, b: Dict) -> Dict[str, object]:
+    """Diff of two compact telemetry blocks (empty dict when neither
+    record carries one — pre-telemetry registries stay comparable)."""
+    if not a and not b:
+        return {}
+    diff: Dict[str, object] = {}
+    for field in ("peak_queue_depth", "alerts_fired", "scrapes"):
+        if field in a or field in b:
+            diff[field] = _delta(
+                float(a.get(field, 0.0)), float(b.get(field, 0.0))
+            )
+    usage_a = a.get("gpu_slot_ms") or {}
+    usage_b = b.get("gpu_slot_ms") or {}
+    if usage_a or usage_b:
+        diff["gpu_slot_ms"] = {
+            tenant: _delta(
+                float(usage_a.get(tenant, 0.0)),
+                float(usage_b.get(tenant, 0.0)),
+            )
+            for tenant in sorted(set(usage_a) | set(usage_b))
+        }
+    return diff
 
 
 def check_regression(
@@ -288,6 +325,23 @@ def format_compare(comparison: Dict[str, object]) -> str:
         for resource, entry in comparison["critical_path"].items():
             lines.append(
                 f"  {resource:<26} {entry['a']:>14.4f} {entry['b']:>14.4f} "
+                f"{entry['delta']:>+12.4f}"
+            )
+    telemetry = comparison.get("telemetry") or {}
+    if telemetry:
+        lines.append("")
+        lines.append("telemetry:")
+        for field in ("peak_queue_depth", "alerts_fired", "scrapes"):
+            entry = telemetry.get(field)
+            if entry is not None:
+                lines.append(
+                    f"  {field:<26} {entry['a']:>14.4f} {entry['b']:>14.4f} "
+                    f"{entry['delta']:>+12.4f}"
+                )
+        for tenant, entry in (telemetry.get("gpu_slot_ms") or {}).items():
+            lines.append(
+                f"  gpu_slot_ms[{tenant}]".ljust(28)
+                + f" {entry['a']:>14.4f} {entry['b']:>14.4f} "
                 f"{entry['delta']:>+12.4f}"
             )
     return "\n".join(lines) + "\n"

@@ -1,0 +1,303 @@
+"""Typed, deterministic metric instruments and their registry.
+
+The online telemetry plane mirrors the Prometheus data model — counters,
+gauges, histograms with labels — but with two hard constraints the
+real-world stack cannot offer:
+
+* **fixed shapes** — an instrument declares its label *names* once and
+  a histogram declares its bucket boundaries once; there is no dynamic
+  bucketing and no label-name drift, so two identical runs produce
+  structurally identical series;
+* **virtual-clock updates** — instruments are updated synchronously from
+  existing trace-event emission points (listeners and direct calls at
+  already-deterministic decision points), never from wall-clock timers,
+  so the whole metric stream is bit-reproducible.
+
+Instruments never feed back into scheduling: registering or updating a
+metric cannot change an engine decision, which is what keeps digests
+bitwise identical with telemetry on (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+_LabelValues = Tuple[str, ...]
+
+
+def _fmt(value: float) -> str:
+    """Canonical sample rendering: integral values print as integers,
+    everything else as ``repr`` (shortest round-trip float — stable
+    across runs and platforms for our pure-python arithmetic)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Instrument:
+    """Shared shape: fixed label names, per-label-values series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise ConfigError(f"bad metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labels: Tuple[str, ...] = tuple(labels)
+
+    def _key(self, label_values: Dict[str, object]) -> _LabelValues:
+        if tuple(sorted(label_values)) != tuple(sorted(self.labels)):
+            raise ConfigError(
+                f"{self.name}: labels {sorted(label_values)} != declared "
+                f"{sorted(self.labels)} (fixed label sets)"
+            )
+        return tuple(str(label_values[label]) for label in self.labels)
+
+
+class Counter(_Instrument):
+    """Monotonic accumulator (``inc`` only)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._series: Dict[_LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **label_values) -> None:
+        if amount < 0:
+            raise ConfigError(f"{self.name}: counters only go up ({amount})")
+        key = self._key(label_values)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **label_values) -> float:
+        return self._series.get(self._key(label_values), 0.0)
+
+    def samples(self) -> List[Tuple[str, _LabelValues, float]]:
+        return [
+            (self.name, key, self._series[key])
+            for key in sorted(self._series)
+        ]
+
+
+class Gauge(_Instrument):
+    """Set-to-current-value instrument; tracks the peak ever set, which
+    the compact telemetry block and capacity planning read."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labels)
+        self._series: Dict[_LabelValues, float] = {}
+        self._peak: Dict[_LabelValues, float] = {}
+
+    def set(self, value: float, **label_values) -> None:
+        key = self._key(label_values)
+        number = float(value)
+        self._series[key] = number
+        if number > self._peak.get(key, float("-inf")):
+            self._peak[key] = number
+
+    def add(self, delta: float, **label_values) -> None:
+        key = self._key(label_values)
+        self.set(self._series.get(key, 0.0) + delta, **label_values)
+
+    def value(self, **label_values) -> float:
+        return self._series.get(self._key(label_values), 0.0)
+
+    def peak(self) -> float:
+        """Highest value ever set across every labelled series (0.0
+        when never set)."""
+        return max(self._peak.values(), default=0.0)
+
+    def samples(self) -> List[Tuple[str, _LabelValues, float]]:
+        return [
+            (self.name, key, self._series[key])
+            for key in sorted(self._series)
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary histogram (no dynamic buckets — determinism).
+
+    ``buckets`` are ascending upper bounds; an implicit ``+Inf`` bucket
+    closes the range.  Samples expand Prometheus-style: cumulative
+    ``<name>_bucket{le=...}`` counts plus ``_sum`` and ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float],
+        labels: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigError(
+                f"{name}: histogram buckets must be non-empty and "
+                f"strictly ascending, got {list(buckets)}"
+            )
+        self.buckets = bounds
+        self._counts: Dict[_LabelValues, List[int]] = {}
+        self._sum: Dict[_LabelValues, float] = {}
+        self._count: Dict[_LabelValues, int] = {}
+
+    def observe(self, value: float, **label_values) -> None:
+        key = self._key(label_values)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        number = float(value)
+        for index, bound in enumerate(self.buckets):
+            if number <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sum[key] = self._sum.get(key, 0.0) + number
+        self._count[key] = self._count.get(key, 0) + 1
+
+    def bucket_counts(self, **label_values) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        key = self._key(label_values)
+        return list(self._counts.get(key, [0] * (len(self.buckets) + 1)))
+
+    def count(self, **label_values) -> int:
+        return self._count.get(self._key(label_values), 0)
+
+    def sum(self, **label_values) -> float:
+        return self._sum.get(self._key(label_values), 0.0)
+
+    def samples(self) -> List[Tuple[str, _LabelValues, float]]:
+        rows: List[Tuple[str, _LabelValues, float]] = []
+        for key in sorted(self._counts):
+            cumulative = 0
+            for bound, bucket in zip(self.buckets, self._counts[key]):
+                cumulative += bucket
+                rows.append(
+                    (f"{self.name}_bucket", key + (_fmt(bound),), float(cumulative))
+                )
+            cumulative += self._counts[key][-1]
+            rows.append((f"{self.name}_bucket", key + ("+Inf",), float(cumulative)))
+            rows.append((f"{self.name}_sum", key, self._sum[key]))
+            rows.append((f"{self.name}_count", key, float(self._count[key])))
+        return rows
+
+
+class MetricsRegistry:
+    """The plane-shared instrument registry the scraper snapshots.
+
+    Registration is idempotent by name (the same plane re-registering
+    its instruments gets the existing objects back); re-registering with
+    a different type or shape is a loud error — shape drift would break
+    the byte-determinism contract.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labels))
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = (),
+        labels: Sequence[str] = (),
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets, labels))
+
+    def _register(self, instrument: _Instrument) -> "_Instrument":
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            same = (
+                type(existing) is type(instrument)
+                and existing.labels == instrument.labels
+                and getattr(existing, "buckets", None)
+                == getattr(instrument, "buckets", None)
+            )
+            if not same:
+                raise ConfigError(
+                    f"metric {instrument.name!r} re-registered with a "
+                    f"different type or shape"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def instruments(self) -> List[_Instrument]:
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat deterministic state: ``name{label="v",...}`` -> value.
+
+        Histogram series expand to their cumulative buckets / sum /
+        count, so a snapshot diff between two scrapes is well-defined
+        for every instrument type.
+        """
+        flat: Dict[str, float] = {}
+        for instrument in self.instruments():
+            label_names = instrument.labels
+            for name, key, value in instrument.samples():
+                if name.endswith("_bucket"):
+                    names: Tuple[str, ...] = label_names + ("le",)
+                else:
+                    names = label_names
+                if key:
+                    rendered = ",".join(
+                        f'{label}="{val}"' for label, val in zip(names, key)
+                    )
+                    flat[f"{name}{{{rendered}}}"] = value
+                else:
+                    flat[name] = value
+        return flat
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (version 0.0.4) of the registry's
+    current state.  Byte-deterministic: instruments sort by name, series
+    by label values, values render canonically.  Caveat (documented in
+    ``docs/TELEMETRY.md``): timestamps are *virtual* milliseconds and
+    therefore omitted — a real Prometheus server would misread them as
+    wall-clock epochs.
+    """
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        label_names = instrument.labels
+        for name, key, value in instrument.samples():
+            names = (
+                label_names + ("le",) if name.endswith("_bucket") else label_names
+            )
+            if key:
+                rendered = ",".join(
+                    f'{label}="{val}"' for label, val in zip(names, key)
+                )
+                lines.append(f"{name}{{{rendered}}} {_fmt(value)}")
+            else:
+                lines.append(f"{name} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

@@ -60,6 +60,22 @@ class ClusterManager:
         self._next_lease_id = 0
         self.total_leases_granted = 0
         self.total_revocations = 0
+        #: virtual-clock source for the usage ledger.  The owning plane's
+        #: ``run()`` installs ``lambda: sim.now``; the default keeps
+        #: construction-time acquires (the serving engine leases in its
+        #: ``__init__``, before any event fires) at t=0.
+        self.clock = lambda: 0.0
+        #: optional ``(kind, job, lease_id, slot, now, cause, manager)``
+        #: callback fired when a per-slot holding opens ("acquire") or
+        #: closes ("close") — the telemetry plane's metering hook
+        self.usage_observer = None
+        self._holdings: Dict[Tuple[int, int], float] = {}
+        self._lease_jobs: Dict[int, str] = {}
+        #: closed holdings: (job, lease_id, slot, start_ms, end_ms, cause).
+        #: The manager's own usage record — :meth:`leased_slot_ms_total`
+        #: sums it independently of any observer, which is what metering
+        #: reconciliation checks against.
+        self.usage_ledger: List[Tuple[str, int, int, float, float, str]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +124,36 @@ class ClusterManager:
         return self._owner.get(slot, -1)
 
     # ------------------------------------------------------------------
+    # usage ledger (per-slot holdings on the virtual clock)
+    # ------------------------------------------------------------------
+    def _notify_usage(
+        self, kind: str, job: str, lease_id: int, slot: int, now: float,
+        cause: str,
+    ) -> None:
+        if self.usage_observer is not None:
+            self.usage_observer(kind, job, lease_id, slot, now, cause, self)
+
+    def _open_holding(self, job: str, lease_id: int, slot: int) -> None:
+        now = self.clock()
+        self._holdings[(lease_id, slot)] = now
+        self._notify_usage("acquire", job, lease_id, slot, now, "")
+
+    def _close_holding(self, lease_id: int, slot: int, cause: str) -> None:
+        start = self._holdings.pop((lease_id, slot), None)
+        if start is None:
+            return
+        now = self.clock()
+        job = self._lease_jobs.get(lease_id, "?")
+        self.usage_ledger.append((job, lease_id, slot, start, now, cause))
+        self._notify_usage("close", job, lease_id, slot, now, cause)
+
+    def leased_slot_ms_total(self) -> float:
+        """Total GPU-slot-milliseconds across every *closed* holding —
+        the manager-side quantity per-tenant metering must reconcile to
+        (open holdings are not yet usage on either side)."""
+        return sum(end - start for _, _, _, start, end, _ in self.usage_ledger)
+
+    # ------------------------------------------------------------------
     def _lease_spec(self, slots: Tuple[int, ...]) -> ClusterSpec:
         """The lease-local cluster parameters: fleet template resized to
         the grant, with per-slot speed factors re-indexed to lease
@@ -153,6 +199,9 @@ class ClusterManager:
                     f"{self._owner[slot]} while granting to {job}"
                 )
             self._owner[slot] = lease.lease_id
+        self._lease_jobs[lease.lease_id] = job
+        for slot in slots:
+            self._open_holding(job, lease.lease_id, slot)
         return lease
 
     def release(self, lease: DeviceLease) -> None:
@@ -170,6 +219,7 @@ class ClusterManager:
             residual = self._residual.pop(lease.lease_id, [])
             for slot in residual:
                 del self._owner[slot]
+                self._close_holding(lease.lease_id, slot, "release")
             self._free.extend(residual)
             self._free.sort()
             return
@@ -187,6 +237,7 @@ class ClusterManager:
                     "at release"
                 )
             del self._owner[slot]
+            self._close_holding(lease.lease_id, slot, "release")
         self._free.extend(lease.slots)
         self._free.sort()
 
@@ -221,6 +272,7 @@ class ClusterManager:
         if slot in self._free:
             self._free.remove(slot)
             self._down[slot] = fault
+            self._notify_usage("down", "", -1, slot, self.clock(), fault)
             return None
         lease_id = self._owner.pop(slot)
         self._down[slot] = fault
@@ -228,10 +280,14 @@ class ClusterManager:
         if lease is None:
             # the owning lease was already revoked: strike the residual
             self._residual[lease_id].remove(slot)
+            self._close_holding(lease_id, slot, "revoked")
+            self._notify_usage("down", "", -1, slot, self.clock(), fault)
             return None
         self._revoked[lease_id] = fault
         self._residual[lease_id] = [s for s in lease.slots if s != slot]
         self.total_revocations += 1
+        self._close_holding(lease_id, slot, "revoked")
+        self._notify_usage("down", "", -1, slot, self.clock(), fault)
         return lease
 
     def mark_up(self, slot: int) -> None:
@@ -242,3 +298,4 @@ class ClusterManager:
         del self._down[slot]
         self._free.append(slot)
         self._free.sort()
+        self._notify_usage("up", "", -1, slot, self.clock(), "")

@@ -306,6 +306,7 @@ class JobScheduler:
         max_restarts: int = 3,
         requeue_backoff_ms: float = 25.0,
         slots_per_node: int = 4,
+        telemetry=None,
     ) -> None:
         if quantum < 1:
             raise ServiceError(f"quantum must be >= 1, got {quantum}")
@@ -335,6 +336,14 @@ class JobScheduler:
         self.slots_per_node = slots_per_node
         self.trace = ExecutionTrace(num_gpus=manager.total_gpus)
         self.sim = SimulationEngine(trace=self.trace)
+        #: the manager meters slot holdings on this plane's virtual clock
+        manager.clock = lambda: self.sim.now
+        #: optional :class:`~repro.obs.telemetry.TelemetryHub` — pure
+        #: observer (trace listener + scrape events + usage observer);
+        #: arming it changes no scheduling decision and no report byte
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_service(self)
         self._jobs: Dict[str, _JobState] = {}
         self._plan_pending = False
         self._ran = False
@@ -729,7 +738,13 @@ class JobScheduler:
         if not self._jobs:
             raise ServiceError("no jobs submitted")
         self._ran = True
+        # co-tenant deployments share the manager across planes that run
+        # sequentially; each plane's run (re-)installs its own clock so
+        # the usage ledger meters holdings on the clock they live on
+        self.manager.clock = lambda: self.sim.now
         self.sim.run()
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.sim.now)
         unfinished = sorted(
             name
             for name, s in self._jobs.items()
@@ -851,7 +866,11 @@ _SERVICE_KEYS = frozenset(
 )
 
 
-def run_service(payload: Mapping, verify_solo: Optional[bool] = None) -> Dict:
+def run_service(
+    payload: Mapping,
+    verify_solo: Optional[bool] = None,
+    telemetry=None,
+) -> Dict:
     """Run one ``serve`` config (see ``examples/serve_demo.json``).
 
     ``verify_solo`` (or ``"verify_solo": true`` in the payload) re-runs
@@ -880,6 +899,7 @@ def run_service(payload: Mapping, verify_solo: Optional[bool] = None) -> Dict:
         max_restarts=int(payload.get("max_restarts", 3)),
         requeue_backoff_ms=float(payload.get("requeue_backoff_ms", 25.0)),
         slots_per_node=int(payload.get("slots_per_node", 4)),
+        telemetry=telemetry,
     )
     for entry in payload["jobs"]:
         scheduler.submit(JobSpec.from_payload(entry))

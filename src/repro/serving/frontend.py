@@ -36,7 +36,11 @@ from repro.ft.faults import FLEET_KINDS, NODE_DOWN, FaultEvent, FaultSchedule
 from repro.partition.static import static_partition_for_space
 from repro.serving.batcher import BatchPolicy, BoundedBatcher, FormedBatch
 from repro.serving.cache import LayerBlockCache, ResultCache, subnet_digest
-from repro.serving.metrics import latency_stats, write_bench_json
+from repro.serving.metrics import (
+    latency_histogram,
+    latency_stats,
+    write_bench_json,
+)
 from repro.serving.workload import EvalRequest, WorkloadSpec, generate_requests
 from repro.service.manager import ClusterManager
 from repro.sim.cluster import ClusterSpec
@@ -166,6 +170,7 @@ class ServingEngine:
         manager: Optional[ClusterManager] = None,
         cache_enabled: bool = True,
         slots_per_node: int = 4,
+        telemetry=None,
     ) -> None:
         self.spec = spec
         space = get_search_space(spec.space)
@@ -206,6 +211,15 @@ class ServingEngine:
         self._prior_layer_misses = 0
         self._prior_fetch_bytes = 0
         self._prior_peak_resident = 0
+        #: the manager meters slot holdings on this plane's virtual clock
+        #: (the construction-time acquire below lands at sim.now == 0)
+        self.manager.clock = lambda: self.sim.now
+        #: optional :class:`~repro.obs.telemetry.TelemetryHub` — pure
+        #: observer; attached before the first acquire so metering sees
+        #: the construction-time lease
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach_serving(self)
         self.lease = None
         self._acquire_data_plane()
 
@@ -286,6 +300,12 @@ class ServingEngine:
                 self._record_request_event(
                     "cache_hit", now, request.request_id, tier="result"
                 )
+                if self.telemetry is not None:
+                    # the one completion no trace event carries a
+                    # latency for — report it to the hub directly
+                    self.telemetry.on_serving_complete(
+                        record.latency_ms, record.retries
+                    )
                 return
             self._record_request_event(
                 "cache_miss", now, request.request_id, tier="result"
@@ -404,6 +424,11 @@ class ServingEngine:
         for request in batch.requests:
             digest = subnet_digest(self.space.name, request.subnet)
             self.result_cache.put(digest, _score_of(digest))
+            if self.telemetry is not None:
+                record = self.records[request.request_id]
+                self.telemetry.on_serving_complete(
+                    record.latency_ms, record.retries
+                )
         self.layer_cache.after_batch(now)
         self._executor_busy = False
         self._executor_batch = None
@@ -576,6 +601,9 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def run(self) -> "ServingResult":
         self._ran = True
+        # co-tenant deployments share the manager; re-install this
+        # plane's clock in case another plane's construction moved it
+        self.manager.clock = lambda: self.sim.now
         requests = generate_requests(self.spec.workload, self.space)
         self.records = [
             RequestRecord(request_id=r.request_id, arrival_ms=r.arrival_ms)
@@ -595,6 +623,8 @@ class ServingEngine:
         if self.lease is not None:
             self.lease.release()
             self.lease = None
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.sim.now)
         return ServingResult(self)
 
 
@@ -650,6 +680,7 @@ class ServingResult:
             "shed_rate": len(shed) / len(self.records) if self.records else 0.0,
             "batches": self.batches_formed,
             "latency_ms": latency_stats(latencies),
+            "latency_histogram": latency_histogram(latencies),
             "throughput_rps": (
                 len(completed) / (self.makespan_ms / 1000.0)
                 if self.makespan_ms

@@ -24,12 +24,23 @@ from typing import Dict, List, Optional, Sequence
 __all__ = [
     "nearest_rank",
     "latency_stats",
+    "latency_histogram",
     "serving_report_json",
     "format_serving_report",
     "check_regression",
+    "DEFAULT_LATENCY_BUCKETS_MS",
 ]
 
 _PERCENTILES = (50, 95, 99)
+
+#: Fixed latency bucket bounds (virtual ms) shared by the scenario
+#: report's histogram and the telemetry plane's ``serving_latency_ms``
+#: instrument — one set of edges, so the online and post-hoc views of
+#: the same run bucket identically.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0,
+    300.0, 400.0, 600.0, 800.0, 1200.0, 1600.0, 2400.0, 3200.0,
+)
 
 
 def nearest_rank(values: Sequence[float], percentile: int) -> float:
@@ -67,6 +78,47 @@ def latency_stats(latencies_ms: Sequence[float]) -> Dict[str, float]:
     stats["mean"] = sum(latencies_ms) / len(latencies_ms)
     stats["max"] = max(latencies_ms)
     return stats
+
+
+def latency_histogram(
+    latencies_ms: Sequence[float],
+    buckets: Optional[Sequence[float]] = None,
+) -> Dict:
+    """Fixed-boundary latency histogram for scenario reports.
+
+    ``buckets`` are ascending upper bounds (default
+    :data:`DEFAULT_LATENCY_BUCKETS_MS`); counts are per-bucket
+    (non-cumulative) with a final overflow bucket, so ``sum(counts) ==
+    count`` always.  Consistency with the nearest-rank percentiles is
+    structural — a percentile value always lands in a bucket whose
+    cumulative count reaches that percentile's rank (tested in
+    ``tests/test_serving_metrics.py``).
+    """
+    bounds = tuple(
+        float(b) for b in (buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS)
+    )
+    if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+        raise ValueError(
+            f"histogram buckets must be non-empty and strictly ascending, "
+            f"got {list(bounds)}"
+        )
+    counts = [0] * (len(bounds) + 1)
+    total = 0.0
+    for value in latencies_ms:
+        number = float(value)
+        total += number
+        for index, bound in enumerate(bounds):
+            if number <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return {
+        "buckets_ms": list(bounds),
+        "counts": counts,
+        "count": len(latencies_ms),
+        "sum_ms": total,
+    }
 
 
 def serving_report_json(report: Dict) -> str:

@@ -11,6 +11,7 @@ import pytest
 
 from repro.serving.metrics import (
     format_serving_report,
+    latency_histogram,
     latency_stats,
     nearest_rank,
     serving_report_json,
@@ -150,3 +151,56 @@ def test_format_report_mentions_cache_effect():
     text = format_serving_report(report)
     assert "cache effect" in text
     assert "2.00x" in text
+
+
+# ----------------------------------------------------------------------
+# latency_histogram: shape and consistency with nearest-rank
+# ----------------------------------------------------------------------
+def test_histogram_counts_sum_to_count():
+    values = [3.0, 7.5, 12.0, 40.0, 9999.0]
+    hist = latency_histogram(values)
+    assert sum(hist["counts"]) == hist["count"] == len(values)
+    assert hist["sum_ms"] == sum(values)
+    # one overflow bucket past the declared bounds
+    assert len(hist["counts"]) == len(hist["buckets_ms"]) + 1
+    assert hist["counts"][-1] == 1  # only 9999.0 overflows
+
+
+def test_histogram_empty_input_is_all_zero():
+    hist = latency_histogram([])
+    assert hist["count"] == 0
+    assert hist["sum_ms"] == 0.0
+    assert sum(hist["counts"]) == 0
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        latency_histogram([1.0], buckets=[])
+    with pytest.raises(ValueError):
+        latency_histogram([1.0], buckets=[10.0, 5.0])
+    with pytest.raises(ValueError):
+        latency_histogram([1.0], buckets=[5.0, 5.0])
+
+
+def test_histogram_boundary_value_lands_in_lower_bucket():
+    hist = latency_histogram([10.0], buckets=[10.0, 20.0])
+    assert hist["counts"] == [1, 0, 0]  # le semantics, like Prometheus
+
+
+def test_histogram_is_consistent_with_nearest_rank_percentiles():
+    # The structural claim: for any percentile p, the nearest-rank
+    # value falls in a bucket whose cumulative count reaches rank(p).
+    values = [1.0, 4.0, 9.0, 16.0, 25.0, 36.0, 49.0, 64.0, 81.0, 100.0]
+    buckets = [5.0, 20.0, 50.0, 90.0]
+    hist = latency_histogram(values, buckets=buckets)
+    bounds = hist["buckets_ms"] + [math.inf]
+    for p in (1, 25, 50, 75, 90, 99, 100):
+        value = nearest_rank(values, p)
+        rank = -(-p * len(values) // 100)  # ceil(p*n/100)
+        bucket = next(i for i, b in enumerate(bounds) if value <= b)
+        cumulative = sum(hist["counts"][: bucket + 1])
+        assert cumulative >= rank
+        # and no earlier bucket already covers the rank while excluding
+        # the value (the percentile can't land below its own bucket)
+        if bucket > 0:
+            assert value > bounds[bucket - 1]

@@ -1,0 +1,560 @@
+"""The live telemetry plane end to end: typed instruments, the virtual
+scrape loop, declarative alerts, and per-tenant usage metering.
+
+The tentpole claims (docs/TELEMETRY.md):
+
+* arming telemetry changes **zero** plane bytes — engine digests and
+  service/serving reports are bitwise identical with and without a hub;
+* every exporter (JSONL series, Prometheus text, alert log, metering
+  table) is byte-identical across identical runs;
+* per-tenant GPU-slot-milliseconds reconcile exactly (<= 1e-9 ms) with
+  the cluster manager's own usage ledger, including leases split across
+  revocation incarnations;
+* a seeded fleet storm deterministically fires *and resolves* the SLO
+  burn-rate alert inside the outage-impact window, while a healthy run
+  fires nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import naspipe
+from repro.engines.pipeline import PipelineEngine
+from repro.errors import ConfigError
+from repro.ft import FaultEvent, FaultSchedule
+from repro.ft.fleet import _build_planes
+from repro.obs.registry import compare_records, format_compare, run_record
+from repro.obs.telemetry import TelemetryHub, replay_telemetry
+from repro.obs.telemetry.alerts import AlertEngine, AlertRule, load_rules
+from repro.obs.telemetry.registry import MetricsRegistry
+from repro.seeding import SeedSequenceTree
+from repro.service import run_service
+from repro.service.scheduler import service_report_json
+from repro.serving import ServingEngine, ServingSpec
+from repro.sim.cluster import ClusterSpec
+from repro.supernet.sampler import SubnetStream
+
+OVERRIDES = {"num_blocks": 8, "functional_width": 16}
+
+SERVICE_CONFIG = {
+    "total_gpus": 6,
+    "quantum": 4,
+    "resize_cost_ms": 20.0,
+    "jobs": [
+        {
+            "name": "elastic",
+            "space": "NLP.c3",
+            "space_overrides": OVERRIDES,
+            "system": "NASPipe",
+            "subnets": 8,
+            "seed": 2022,
+            "priority": 2,
+            "min_gpus": 2,
+            "max_gpus": 4,
+        },
+        {
+            "name": "rigid",
+            "space": "CV.c3",
+            "space_overrides": OVERRIDES,
+            "system": "PipeDream",
+            "subnets": 6,
+            "seed": 7,
+            "priority": 1,
+            "min_gpus": 2,
+            "max_gpus": 2,
+        },
+    ],
+}
+
+SERVING_CONFIG = {
+    "space": "NLP.c3",
+    "space_overrides": OVERRIDES,
+    "num_gpus": 2,
+    "total_gpus": 4,
+    "eval_batch": 4,
+    "requests": 60,
+    "arrival": "poisson",
+    "rate_rps": 60.0,
+    "skew": 0.7,
+    "hot_prefixes": 3,
+    "prefix_blocks": 4,
+    "repeat_fraction": 0.3,
+    "seed": 2022,
+    "max_batch": 4,
+    "max_linger_ms": 5.0,
+    "queue_bound": 16,
+    "result_entries": 64,
+    "cache_subnets": 3.0,
+    "slo_ms": 400.0,
+}
+
+FLEET_CONFIG = {
+    "quantum": 4,
+    "resize_cost_ms": 20.0,
+    "max_restarts": 3,
+    "requeue_backoff_ms": 20.0,
+    "serving": dict(SERVING_CONFIG, requests=80, total_gpus=8),
+    "jobs": [SERVICE_CONFIG["jobs"][0]],
+}
+
+
+# ----------------------------------------------------------------------
+# instruments: fixed shapes, loud drift
+# ----------------------------------------------------------------------
+def test_counter_only_goes_up():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "test")
+    counter.inc(2.0)
+    counter.inc()
+    assert counter.value() == 3.0
+    with pytest.raises(ConfigError):
+        counter.inc(-1.0)
+
+
+def test_instrument_registration_is_idempotent_but_shape_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("t_total", "test", labels=("stage",))
+    assert registry.counter("t_total", "test", labels=("stage",)) is first
+    with pytest.raises(ConfigError):
+        registry.counter("t_total", "test", labels=("gpu",))
+    with pytest.raises(ConfigError):
+        registry.gauge("t_total", "same name, different type")
+
+
+def test_label_set_is_closed():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "test", labels=("stage",))
+    counter.inc(1.0, stage="0")
+    with pytest.raises(ConfigError):
+        counter.inc(1.0, gpu="0")
+    with pytest.raises(ConfigError):
+        counter.inc(1.0)  # missing the declared label
+
+
+def test_gauge_tracks_peak():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("t_depth", "test")
+    gauge.set(3.0)
+    gauge.add(2.0)
+    gauge.set(1.0)
+    assert gauge.value() == 1.0
+    assert gauge.peak() == 5.0
+
+
+def test_histogram_buckets_must_ascend():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigError):
+        registry.histogram("t_ms", "test", buckets=(10.0, 5.0))
+    with pytest.raises(ConfigError):
+        registry.histogram("t2_ms", "test", buckets=())
+
+
+def test_histogram_samples_are_cumulative_with_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t_ms", "test", buckets=(10.0, 100.0))
+    for value in (5.0, 7.0, 50.0, 500.0):
+        histogram.observe(value)
+    assert histogram.bucket_counts() == [2, 1, 1]
+    assert histogram.count() == 4
+    assert histogram.sum() == 562.0
+    samples = dict(
+        ((name, labels), value) for name, labels, value in histogram.samples()
+    )
+    assert samples[("t_ms_bucket", ("10",))] == 2
+    assert samples[("t_ms_bucket", ("100",))] == 3  # cumulative
+    assert samples[("t_ms_bucket", ("+Inf",))] == 4
+    assert samples[("t_ms_count", ())] == 4
+
+
+# ----------------------------------------------------------------------
+# scraper
+# ----------------------------------------------------------------------
+def test_scrape_series_never_duplicates_a_timestamp():
+    hub = TelemetryHub()
+    counter = hub.registry.counter("t_total", "test")
+    counter.inc()
+    hub.scraper.scrape(100.0)
+    counter.inc()
+    hub.scraper.finalize(100.0)  # quiescence flush at a sampled instant
+    assert len(hub.scraper.samples) == 1
+    # the flush overwrote the sample with the post-increment state
+    assert hub.scraper.samples[0][1]["t_total"] == 2.0
+
+
+def test_series_jsonl_is_canonical():
+    hub = TelemetryHub()
+    hub.registry.counter("t_total", "test").inc()
+    hub.scraper.scrape(0.0)
+    hub.scraper.scrape(100.0)
+    text = hub.scraper.series_jsonl()
+    assert text == (
+        '{"samples":{"t_total":1.0},"t_ms":0.0}\n'
+        '{"samples":{"t_total":1.0},"t_ms":100.0}\n'
+    )
+
+
+# ----------------------------------------------------------------------
+# alert rules on synthetic series
+# ----------------------------------------------------------------------
+def _series(*points):
+    return [(float(t), dict(sample)) for t, sample in points]
+
+
+def test_threshold_rule_holds_for_for_ms_before_firing():
+    rule = AlertRule(
+        {
+            "name": "hot",
+            "kind": "threshold",
+            "metric": "depth",
+            "op": ">",
+            "threshold": 2.0,
+            "for_ms": 100.0,
+        }
+    )
+    series = _series(
+        (0, {"depth": 0}),
+        (100, {"depth": 5}),  # pending starts here
+        (200, {"depth": 5}),  # held 100ms -> fires
+        (300, {"depth": 1}),  # resolves
+        (400, {"depth": 5}),  # pending restarts; never held long enough
+    )
+    log = AlertEngine([rule]).evaluate(series)
+    assert log == [
+        {
+            "rule": "hot",
+            "kind": "threshold",
+            "fired_at_ms": 200.0,
+            "resolved_at_ms": 300.0,
+        }
+    ]
+
+
+def test_threshold_rule_still_firing_at_end_has_null_resolution():
+    rule = AlertRule(
+        {"name": "down", "metric": "down_slots", "op": ">", "threshold": 0.0}
+    )
+    series = _series((0, {"down_slots": 0}), (100, {"down_slots": 2}))
+    log = AlertEngine([rule]).evaluate(series)
+    assert log[0]["fired_at_ms"] == 100.0
+    assert log[0]["resolved_at_ms"] is None
+
+
+def test_burn_rate_needs_every_window_burning():
+    rule = AlertRule(
+        {
+            "name": "burn",
+            "kind": "burn_rate",
+            "good": "good",
+            "bad": "bad",
+            "objective": 0.9,  # 10% budget
+            "windows": [
+                {"window_ms": 100.0, "factor": 2.0},  # needs >= 20% bad
+                {"window_ms": 300.0, "factor": 1.0},  # needs >= 10% bad
+            ],
+        }
+    )
+    series = _series(
+        (0, {"good": 0, "bad": 0}),
+        (100, {"good": 10, "bad": 0}),
+        # short window: 5/10 bad = 50% >= 20%; long: 5/20 = 25% >= 10%
+        (200, {"good": 15, "bad": 5}),
+        # short window clean again -> resolves even though long still burns
+        (300, {"good": 25, "bad": 5}),
+    )
+    log = AlertEngine([rule]).evaluate(series)
+    assert log == [
+        {
+            "rule": "burn",
+            "kind": "burn_rate",
+            "fired_at_ms": 200.0,
+            "resolved_at_ms": 300.0,
+        }
+    ]
+
+
+def test_rule_validation_is_loud():
+    with pytest.raises(ConfigError):
+        AlertRule({"name": "x", "metric": "m", "op": "!=", "threshold": 1})
+    with pytest.raises(ConfigError):
+        AlertRule({"name": "x", "kind": "threshold"})  # no metric
+    with pytest.raises(ConfigError):
+        AlertRule({"name": "x", "kind": "burn_rate", "good": "g", "bad": "b",
+                   "objective": 1.5, "windows": [{"window_ms": 10}]})
+    with pytest.raises(ConfigError):
+        AlertRule({"name": "x", "kind": "burn_rate", "good": "g", "bad": "b"})
+    with pytest.raises(ConfigError):
+        AlertRule({"name": "x", "metric": "m", "surprise": 1})
+    with pytest.raises(ConfigError):
+        AlertRule({"metric": "m"})  # nameless
+
+
+def test_load_rules_from_file_and_defaults(tmp_path):
+    defaults = load_rules(None)
+    assert [rule.name for rule in defaults] == [
+        "fleet_slots_down",
+        "service_job_failed",
+        "serving_slo_burn",
+    ]
+    path = tmp_path / "rules.json"
+    path.write_text(
+        json.dumps(
+            {
+                "rules": [
+                    {"name": "a", "metric": "m", "op": ">=", "threshold": 1}
+                ]
+            }
+        )
+    )
+    loaded = load_rules(path)
+    assert [rule.name for rule in loaded] == ["a"]
+
+
+# ----------------------------------------------------------------------
+# service plane: byte identity, digest preservation, reconciliation
+# ----------------------------------------------------------------------
+def _service_run_with_hub(payload):
+    hub = TelemetryHub(scrape_interval_ms=50.0)
+    report = run_service(payload, telemetry=hub)
+    return hub, report
+
+
+def test_service_telemetry_is_byte_identical_across_runs():
+    hub_a, _ = _service_run_with_hub(SERVICE_CONFIG)
+    hub_b, _ = _service_run_with_hub(SERVICE_CONFIG)
+    assert hub_a.scraper.series_jsonl() == hub_b.scraper.series_jsonl()
+    assert hub_a.scraper.prometheus_text() == hub_b.scraper.prometheus_text()
+    assert hub_a.alert_report() == hub_b.alert_report()
+    assert json.dumps(hub_a.metering_report(), sort_keys=True) == json.dumps(
+        hub_b.metering_report(), sort_keys=True
+    )
+    assert hub_a.meter.format_report() == hub_b.meter.format_report()
+
+
+def test_service_report_bytes_unchanged_by_telemetry():
+    plain = run_service(SERVICE_CONFIG)
+    _, observed = _service_run_with_hub(SERVICE_CONFIG)
+    assert service_report_json(plain) == service_report_json(observed)
+
+
+def test_service_metering_reconciles_to_manager_ledger():
+    hub, report = _service_run_with_hub(SERVICE_CONFIG)
+    metering = hub.metering_report()
+    reconciliation = metering["reconciliation"]
+    assert reconciliation["ok"]
+    assert abs(reconciliation["residual_ms"]) <= 1e-9
+    assert set(metering["tenants"]) == {"elastic", "rigid"}
+    # every tenant that ran holds slot-time
+    for tenant in metering["tenants"].values():
+        assert tenant["gpu_slot_ms"] > 0.0
+
+
+def test_service_metering_reconciles_across_revocations():
+    payload = dict(
+        SERVICE_CONFIG,
+        faults=[
+            {
+                "kind": "slot_preempt",
+                "time_ms": 60.0,
+                "target": 0,
+                "duration_ms": 120.0,
+            },
+            {
+                "kind": "slot_preempt",
+                "time_ms": 300.0,
+                "target": 2,
+                "duration_ms": 120.0,
+            },
+        ],
+    )
+    hub, report = _service_run_with_hub(payload)
+    assert hub.manager.total_revocations > 0
+    metering = hub.metering_report()
+    assert metering["reconciliation"]["ok"]
+    assert abs(metering["reconciliation"]["residual_ms"]) <= 1e-9
+    # the struck tenant's usage splits across lease incarnations, at
+    # least one of which is marked revoked
+    revoked = [
+        lease
+        for tenant in metering["tenants"].values()
+        for lease in tenant["leases"]
+        if lease["revoked"]
+    ]
+    assert revoked
+    # and the fleet_slots_down alert fired (a slot really went down)
+    log = hub.alert_report()["log"]
+    assert any(entry["rule"] == "fleet_slots_down" for entry in log)
+
+
+def test_healthy_service_run_fires_no_default_alerts():
+    hub, _ = _service_run_with_hub(SERVICE_CONFIG)
+    assert hub.alert_report()["firings"] == 0
+
+
+# ----------------------------------------------------------------------
+# serving plane
+# ----------------------------------------------------------------------
+def _serving_run(telemetry=None):
+    engine = ServingEngine(
+        ServingSpec.from_payload(SERVING_CONFIG), telemetry=telemetry
+    )
+    return engine, engine.run()
+
+
+def test_serving_report_bytes_unchanged_by_telemetry():
+    _, plain = _serving_run()
+    _, observed = _serving_run(telemetry=TelemetryHub())
+    assert json.dumps(
+        plain.scenario_report(), sort_keys=True
+    ) == json.dumps(observed.scenario_report(), sort_keys=True)
+
+
+def test_serving_telemetry_counts_match_the_scenario_report():
+    hub = TelemetryHub(scrape_interval_ms=50.0)
+    _, result = _serving_run(telemetry=hub)
+    scenario = result.scenario_report()
+    snapshot = hub.registry.snapshot()
+    assert snapshot["serving_requests_total"] == scenario["requests"]
+    assert snapshot["serving_latency_ms_count"] == scenario["completed"]
+    histogram = hub.registry.get("serving_latency_ms")
+    assert histogram.count() == scenario["completed"]
+    assert histogram.sum() == pytest.approx(
+        sum(r.latency_ms for r in result.records if r.done_ms is not None)
+    )
+    assert hub.alert_report()["firings"] == 0  # healthy serving demo
+
+
+def test_serving_metering_reconciles():
+    hub = TelemetryHub()
+    _serving_run(telemetry=hub)
+    metering = hub.metering_report()
+    assert metering["reconciliation"]["ok"]
+    assert set(metering["tenants"]) == {"serving"}
+
+
+# ----------------------------------------------------------------------
+# engine plane: replay, registry records, digest preservation
+# ----------------------------------------------------------------------
+def _engine_result(tiny_supernet, telemetry=None):
+    stream = SubnetStream.sample(
+        tiny_supernet.space, SeedSequenceTree(11), 12
+    )
+    engine = PipelineEngine(
+        tiny_supernet,
+        stream,
+        naspipe(),
+        ClusterSpec(num_gpus=4),
+        batch=32,
+        telemetry=telemetry,
+    )
+    return engine.run()
+
+
+def test_engine_timing_unchanged_by_telemetry(tiny_supernet):
+    plain = _engine_result(tiny_supernet)
+    observed = _engine_result(tiny_supernet, telemetry=TelemetryHub())
+    assert plain.makespan_ms == observed.makespan_ms
+    assert plain.trace.gantt_rows() == observed.trace.gantt_rows()
+
+
+def test_result_telemetry_replays_the_trace(tiny_supernet):
+    result = _engine_result(tiny_supernet)
+    hub = result.telemetry()
+    snapshot = hub.registry.snapshot()
+    assert snapshot["engine_subnets_completed_total"] == 12.0
+    tasks = sum(
+        value
+        for key, value in snapshot.items()
+        if key.startswith("engine_tasks_total{")
+    )
+    assert tasks > 0
+    # replay is deterministic
+    assert (
+        result.telemetry().registry.snapshot()
+        == replay_telemetry(result.trace).registry.snapshot()
+    )
+
+
+def test_run_record_carries_telemetry_but_not_in_run_id(tiny_supernet):
+    result = _engine_result(tiny_supernet)
+    record = run_record(result, git_sha=None)
+    assert record["telemetry"]["schema"] == 1
+    assert record["telemetry"]["scrapes"] == 1  # replay: final sample only
+    assert record["telemetry"]["gpu_slot_ms"] == {}  # no manager leased
+    # the run_id digests summary+critical_path only; a record stripped of
+    # the block resolves identically
+    stripped = dict(record)
+    stripped.pop("telemetry")
+    assert stripped["run_id"] == record["run_id"]
+
+    comparison = compare_records(record, record)
+    assert comparison["telemetry"]["alerts_fired"]["delta"] == 0.0
+    rendered = format_compare(comparison)
+    assert "telemetry:" in rendered
+    assert "peak_queue_depth" in rendered
+
+    # pre-telemetry records still compare cleanly
+    legacy = compare_records(stripped, stripped)
+    assert legacy["telemetry"] == {}
+    assert "telemetry:" not in format_compare(legacy)
+
+
+# ----------------------------------------------------------------------
+# chaos fleet: the storm fires and resolves the burn-rate alert
+# ----------------------------------------------------------------------
+def _storm_fleet_run():
+    hub = TelemetryHub(scrape_interval_ms=50.0)
+    manager, serving, scheduler = _build_planes(
+        FLEET_CONFIG, 8, serving_telemetry=hub
+    )
+    serving_slots = frozenset(serving.lease.slots)
+    storm = FaultSchedule(
+        [
+            FaultEvent(
+                "slot_preempt",
+                120.0,
+                target=min(serving_slots),
+                duration_ms=250.0,
+            )
+        ]
+    )
+    serving.inject_fleet_faults(storm, slots=serving_slots)
+    scheduler.run()
+    result = serving.run()
+    return hub, manager, result
+
+
+def test_storm_fires_and_resolves_slo_burn_inside_outage_window():
+    hub, manager, result = _storm_fleet_run()
+    assert result.outage_windows  # the revocation really happened
+    log = hub.alert_report()["log"]
+    burns = [e for e in log if e["rule"] == "serving_slo_burn"]
+    assert len(burns) == 1
+    burn = burns[0]
+    assert burn["resolved_at_ms"] is not None  # it resolves, not latches
+    # the firing interval overlaps the outage-impact window
+    overlaps = any(
+        burn["fired_at_ms"] <= end and start <= burn["resolved_at_ms"]
+        for start, end in result.outage_windows
+    )
+    assert overlaps
+    # the threshold rule tracked the down slot going down and back up
+    downs = [e for e in log if e["rule"] == "fleet_slots_down"]
+    assert len(downs) == 1
+    assert downs[0]["resolved_at_ms"] is not None
+    # and the whole thing is deterministic
+    hub_b, _, _ = _storm_fleet_run()
+    assert hub.alert_report() == hub_b.alert_report()
+    assert hub.scraper.series_jsonl() == hub_b.scraper.series_jsonl()
+
+
+def test_storm_metering_reconciles_both_planes():
+    hub, manager, _ = _storm_fleet_run()
+    metering = hub.metering_report()
+    assert metering["reconciliation"]["ok"]
+    assert abs(metering["reconciliation"]["residual_ms"]) <= 1e-9
+    assert {"elastic", "serving"} <= set(metering["tenants"])
+    # the serving tenant's lease was split by the revocation
+    serving_leases = metering["tenants"]["serving"]["leases"]
+    assert any(lease["revoked"] for lease in serving_leases)
+    assert len(serving_leases) >= 2  # original + recovered incarnation

@@ -38,6 +38,7 @@ REQUIRED_DOCS = (
     "docs/TESTING.md",
     "docs/OPERATIONS.md",
     "docs/SERVING.md",
+    "docs/TELEMETRY.md",
 )
 
 
